@@ -1,0 +1,100 @@
+// Command characterize regenerates the paper's motivation and
+// characterization data: Table II (benchmarks), Figure 2 (baseline hit
+// rates at two L1 TLB capacities), Figures 3 and 4 (inter-/intra-TB
+// translation reuse), and Figures 5 and 6 (reuse-distance CDFs with and
+// without inter-TB interference).
+//
+// Examples:
+//
+//	characterize              # everything
+//	characterize -fig 4       # intra-TB reuse only
+//	characterize -bench bfs,mvt -fig 5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"gputlb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("characterize: ")
+
+	var (
+		fig     = flag.String("fig", "all", "what to produce: table2 | 2 | 3 | 4 | 5 | 6 | all")
+		bench   = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		seed    = flag.Int64("seed", 1, "workload generation seed")
+		jsonOut = flag.Bool("json", false, "emit the row structs as JSON instead of tables")
+	)
+	flag.Parse()
+
+	opt := gputlb.DefaultExperimentOptions()
+	opt.Params.Scale = *scale
+	opt.Params.Seed = *seed
+	if *bench != "" {
+		opt.Benchmarks = strings.Split(*bench, ",")
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+	emit := func(name, table string, rows any) {
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(map[string]any{name: rows}); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		fmt.Println(table)
+	}
+
+	if want("table2") {
+		rows, err := gputlb.Table2(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("table2", gputlb.RenderTable2(rows), rows)
+	}
+	if want("2") {
+		rows, err := gputlb.Fig2(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("fig2", gputlb.RenderFig2(rows), rows)
+	}
+	if want("3") {
+		rows, err := gputlb.Fig3(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("fig3", gputlb.RenderBins("Figure 3 — inter-TB translation reuse (fraction of TB pairs per bin)", rows), rows)
+	}
+	if want("4") {
+		rows, err := gputlb.Fig4(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("fig4", gputlb.RenderBins("Figure 4 — intra-TB translation reuse (fraction of TBs per bin)", rows), rows)
+	}
+	if want("5") {
+		rows, err := gputlb.Fig5(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("fig5", gputlb.RenderCDF("Figure 5 — intra-TB reuse distance CDF, TBs running concurrently", rows), rows)
+	}
+	if want("6") {
+		rows, err := gputlb.Fig6(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("fig6", gputlb.RenderCDF("Figure 6 — intra-TB reuse distance CDF, one TB at a time", rows), rows)
+	}
+}

@@ -1,0 +1,138 @@
+// Command evaluate regenerates the paper's evaluation: Figures 10 and 11
+// (hit rates and normalized execution time under the four configurations),
+// Figure 12 (combination with TLB compression), the huge-page study, and
+// the design-space ablations (sharing counter/all-to-all, TB throttling,
+// warp-granularity reuse).
+//
+// Examples:
+//
+//	evaluate                 # figures 10-12 and the huge-page study
+//	evaluate -fig 11
+//	evaluate -fig ablations
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"gputlb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("evaluate: ")
+
+	var (
+		fig     = flag.String("fig", "all", "what to produce: 10 | 11 | 12 | hugepage | ablations | warp | balance | seeds | all")
+		bench   = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		seed    = flag.Int64("seed", 1, "workload generation seed")
+		jsonOut = flag.Bool("json", false, "emit the row structs as JSON instead of tables")
+	)
+	flag.Parse()
+
+	opt := gputlb.DefaultExperimentOptions()
+	opt.Params.Scale = *scale
+	opt.Params.Seed = *seed
+	if *bench != "" {
+		opt.Benchmarks = strings.Split(*bench, ",")
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+	emit := func(name, table string, rows any) {
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(map[string]any{name: rows}); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		fmt.Println(table)
+	}
+
+	if want("10") || want("11") {
+		rows, err := gputlb.Eval(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if want("10") {
+			emit("fig10", gputlb.RenderFig10(rows), rows)
+		}
+		if want("11") {
+			emit("fig11", gputlb.RenderFig11(rows), rows)
+		}
+	}
+	if want("12") {
+		rows, err := gputlb.Fig12(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("fig12", gputlb.RenderFig12(rows), rows)
+	}
+	if want("hugepage") {
+		rows, err := gputlb.HugePages(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("hugepage", gputlb.RenderHugePages(rows), rows)
+	}
+	if *fig == "seeds" {
+		rows, err := gputlb.SeedSweep(opt, []int64{1, 2, 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("seeds", gputlb.RenderSeedSweep(rows), rows)
+	}
+	if *fig == "ablations" {
+		rows, err := gputlb.AblationSharing(opt, []int{4, 16})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(gputlb.RenderAblation(
+			"Ablation — sharing activation: counter thresholds and all-to-all vs the 1-bit adjacent flag", rows))
+		rows, err = gputlb.AblationThrottle(opt, []int{4, 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(gputlb.RenderAblation(
+			"Ablation — TB throttling combined with the proposal (§IV-A extension)", rows))
+		rows, err = gputlb.AblationWarpSched(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(gputlb.RenderAblation(
+			"Ablation — warp schedulers under the proposal (vs GTO; 'translation-aware' is the paper's future work)", rows))
+		rows, err = gputlb.AblationPWC(opt, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(gputlb.RenderAblation(
+			"Ablation — 64-entry page-walk cache (vs the same config without one)", rows))
+		rows, err = gputlb.AblationReplacement(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(gputlb.RenderAblation(
+			"Ablation — TLB replacement policies under the proposal (vs LRU)", rows))
+	}
+	if *fig == "balance" {
+		rows, err := gputlb.SMBalance(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(gputlb.RenderSMBalance(rows))
+	}
+	if *fig == "warp" {
+		rows, err := gputlb.WarpReuse(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(gputlb.RenderBins(
+			"Future work — warp-granularity intra-warp translation reuse", rows))
+	}
+}

@@ -1,0 +1,122 @@
+// Command report regenerates the complete experimental study — every table
+// and figure plus the balance and warp-reuse studies — as one document, the
+// raw material of EXPERIMENTS.md. Diff its output against EXPERIMENTS.md's
+// code blocks to audit the recorded results.
+//
+//	report                # full study to stdout (takes a few minutes)
+//	report -o report.txt  # write to a file
+//	report -scale 0.5     # faster, reduced-scale run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"gputlb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("report: ")
+
+	var (
+		out   = flag.String("o", "", "output file (default stdout)")
+		scale = flag.Float64("scale", 1.0, "workload scale factor")
+		seed  = flag.Int64("seed", 1, "workload generation seed")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	opt := gputlb.DefaultExperimentOptions()
+	opt.Params.Scale = *scale
+	opt.Params.Seed = *seed
+
+	section := func(s string) {
+		if _, err := fmt.Fprintln(w, s); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	section("gputlb experimental study")
+	section("")
+	section(gputlb.Table3())
+
+	t2, err := gputlb.Table2(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	section(gputlb.RenderTable2(t2))
+
+	f2, err := gputlb.Fig2(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	section(gputlb.RenderFig2(f2))
+
+	f3, err := gputlb.Fig3(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	section(gputlb.RenderBins("Figure 3 — inter-TB translation reuse (fraction of TB pairs per bin)", f3))
+
+	f4, err := gputlb.Fig4(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	section(gputlb.RenderBins("Figure 4 — intra-TB translation reuse (fraction of TBs per bin)", f4))
+
+	f5, err := gputlb.Fig5(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	section(gputlb.RenderCDF("Figure 5 — intra-TB reuse distance CDF, TBs running concurrently", f5))
+
+	f6, err := gputlb.Fig6(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	section(gputlb.RenderCDF("Figure 6 — intra-TB reuse distance CDF, one TB at a time", f6))
+
+	ev, err := gputlb.Eval(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	section(gputlb.RenderFig10(ev))
+	section(gputlb.RenderFig11(ev))
+
+	f12, err := gputlb.Fig12(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	section(gputlb.RenderFig12(f12))
+
+	hp, err := gputlb.HugePages(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	section(gputlb.RenderHugePages(hp))
+
+	bal, err := gputlb.SMBalance(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	section(gputlb.RenderSMBalance(bal))
+
+	wr, err := gputlb.WarpReuse(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	section(gputlb.RenderBins("Future work — warp-granularity intra-warp translation reuse", wr))
+}

@@ -1,0 +1,71 @@
+// Command traceconv exports the suite's benchmarks as binary kernel traces
+// and inspects trace files, so runs can be archived, diffed, or replayed
+// (including traces produced by external tracers emitting the same format).
+//
+// Examples:
+//
+//	traceconv -bench atax -o atax.trace          # export a workload
+//	traceconv -info atax.trace                    # summarize a trace file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gputlb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traceconv: ")
+
+	var (
+		bench = flag.String("bench", "", "benchmark to export")
+		out   = flag.String("o", "", "output trace file (with -bench)")
+		info  = flag.String("info", "", "trace file to summarize")
+		scale = flag.Float64("scale", 1.0, "workload scale factor")
+		seed  = flag.Int64("seed", 1, "workload generation seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *bench != "" && *out != "":
+		p := gputlb.DefaultParams()
+		p.Scale = *scale
+		p.Seed = *seed
+		k, _, err := gputlb.Build(*bench, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := gputlb.WriteKernelTrace(f, k); err != nil {
+			log.Fatal(err)
+		}
+		st, _ := f.Stat()
+		fmt.Printf("wrote %s: %d TBs, %d memory instructions, %d bytes\n",
+			*out, len(k.TBs), k.MemInsts(), st.Size())
+	case *info != "":
+		f, err := os.Open(*info)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		k, err := gputlb.ReadKernelTrace(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("kernel       %s\n", k.Name)
+		fmt.Printf("TBs          %d (%d threads each, %d warps)\n", len(k.TBs), k.ThreadsPerTB, k.WarpsPerTB())
+		fmt.Printf("mem insts    %d\n", k.MemInsts())
+		fmt.Printf("phases       %d\n", len(k.PhaseStarts)+1)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,3 @@
+module gputlb
+
+go 1.22

@@ -1,0 +1,261 @@
+// Package gputlb is a cycle-level GPU address-translation simulator and
+// benchmark suite reproducing "Orchestrated Scheduling and Partitioning for
+// Improved Address Translation in GPUs" (Li, Wang, Tang — DAC 2023).
+//
+// The library models a UVM-based CPU-GPU system — per-SM L1 TLBs, a shared
+// L2 TLB, page-table walkers over a demand-paged address space, caches, and
+// a GPU with warp and thread-block scheduling — and implements the paper's
+// proposal: a TLB-thrashing-aware thread-block scheduler, TB-id-based L1
+// TLB partitioning, and dynamic adjacent-set sharing.
+//
+// Quick start:
+//
+//	cfg := gputlb.ShareConfig() // the full proposal
+//	res, err := gputlb.Simulate("bfs", gputlb.DefaultParams(), cfg)
+//	if err != nil { ... }
+//	fmt.Printf("hit rate %.2f in %d cycles\n", res.L1TLBHitRate, res.Cycles)
+//
+// The experiments API regenerates every table and figure of the paper; see
+// Fig2 through Fig12, HugePages, and the ablations.
+package gputlb
+
+import (
+	"fmt"
+	"io"
+
+	"gputlb/internal/arch"
+	"gputlb/internal/chars"
+	"gputlb/internal/experiments"
+	"gputlb/internal/graph"
+	"gputlb/internal/sim"
+	"gputlb/internal/trace"
+	"gputlb/internal/vm"
+	"gputlb/internal/workloads"
+)
+
+// Config is the full machine description (Table III defaults).
+type Config = arch.Config
+
+// Architectural enums and constants.
+const (
+	IndexByAddress  = arch.IndexByAddress
+	IndexByTB       = arch.IndexByTB
+	IndexByTBShared = arch.IndexByTBShared
+
+	ScheduleRoundRobin = arch.ScheduleRoundRobin
+	ScheduleTLBAware   = arch.ScheduleTLBAware
+
+	ShareAdjacent = arch.ShareAdjacent
+	ShareAllToAll = arch.ShareAllToAll
+
+	PageSize4K = arch.PageSize4K
+	PageSize2M = arch.PageSize2M
+	WarpSize   = arch.WarpSize
+)
+
+// DefaultConfig returns the paper's Table III baseline configuration.
+func DefaultConfig() Config { return arch.Default() }
+
+// BaselineConfig is the baseline of the evaluation (alias of DefaultConfig).
+func BaselineConfig() Config { return experiments.BaselineConfig() }
+
+// SchedConfig enables only the thrashing-aware TB scheduler (§IV-A).
+func SchedConfig() Config { return experiments.SchedConfig() }
+
+// PartConfig adds TB-id TLB partitioning without sharing (§IV-B).
+func PartConfig() Config { return experiments.PartConfig() }
+
+// ShareConfig is the full proposal: scheduling + partitioning + dynamic
+// adjacent-set sharing.
+func ShareConfig() Config { return experiments.ShareConfig() }
+
+// Params controls workload construction (scale, seed, page size).
+type Params = workloads.Params
+
+// DefaultParams returns experiment-scale workload parameters.
+func DefaultParams() Params { return workloads.DefaultParams() }
+
+// Workload is one benchmark of the paper's Table II.
+type Workload = workloads.Spec
+
+// Kernel is a GPU kernel launch as an address trace.
+type Kernel = trace.Kernel
+
+// AddressSpace is a UVM virtual address space with demand paging.
+type AddressSpace = vm.AddressSpace
+
+// Result aggregates one simulation run.
+type Result = sim.Result
+
+// Workloads returns the ten benchmarks in the paper's order.
+func Workloads() []Workload { return workloads.All() }
+
+// WorkloadNames returns the benchmark names in the paper's order.
+func WorkloadNames() []string { return workloads.Names() }
+
+// WorkloadByName finds a benchmark by its Table II name.
+func WorkloadByName(name string) (Workload, bool) { return workloads.ByName(name) }
+
+// Build constructs a benchmark's kernel trace and UVM address space.
+func Build(name string, p Params) (*Kernel, *AddressSpace, error) {
+	s, ok := workloads.ByName(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("gputlb: unknown benchmark %q", name)
+	}
+	k, as := s.Build(p)
+	return k, as, nil
+}
+
+// Run simulates a kernel to completion under cfg.
+func Run(cfg Config, k *Kernel, as *AddressSpace) (Result, error) {
+	return sim.Run(cfg, k, as)
+}
+
+// Simulate builds benchmark name with p and runs it under cfg.
+func Simulate(name string, p Params, cfg Config) (Result, error) {
+	k, as, err := Build(name, p)
+	if err != nil {
+		return Result{}, err
+	}
+	return sim.Run(cfg, k, as)
+}
+
+// Characterization (paper Section III).
+
+// ReuseBins is a 20%-binned reuse-intensity distribution (b1..b5).
+type ReuseBins = chars.Bins
+
+// DistanceCDF is a power-of-two-bucketed reuse-distance CDF.
+type DistanceCDF = chars.DistanceCDF
+
+// IntraTBReuse computes Figure 4's per-TB reuse intensity bins.
+func IntraTBReuse(k *Kernel, pageShift uint) ReuseBins { return chars.IntraTB(k, pageShift) }
+
+// InterTBReuse computes Figure 3's TB-pair reuse intensity bins (maxTBs
+// bounds the pair count; 0 = exhaustive).
+func InterTBReuse(k *Kernel, pageShift uint, maxTBs int) ReuseBins {
+	return chars.InterTB(k, pageShift, maxTBs)
+}
+
+// IntraWarpReuse computes warp-granularity reuse bins (the paper's stated
+// future work).
+func IntraWarpReuse(k *Kernel, pageShift uint) ReuseBins { return chars.IntraWarp(k, pageShift) }
+
+// IsolatedReuseDistance computes Figure 6's CDF (one TB at a time).
+func IsolatedReuseDistance(k *Kernel, pageShift uint) DistanceCDF {
+	return chars.IsolatedReuseDistance(k, pageShift)
+}
+
+// InterleavedReuseDistance computes Figure 5's CDF (TBs interleaved on
+// their SMs, exposing inter-TB interference).
+func InterleavedReuseDistance(k *Kernel, pageShift uint, numSMs, slotsPerSM int) DistanceCDF {
+	return chars.InterleavedReuseDistance(k, pageShift, numSMs, slotsPerSM)
+}
+
+// Experiments: every table and figure of the evaluation.
+
+// ExperimentOptions selects workloads and scale for experiment runs.
+type ExperimentOptions = experiments.Options
+
+// DefaultExperimentOptions returns experiment-scale settings.
+func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
+
+// Experiment row types.
+type (
+	Table2Row   = experiments.Table2Row
+	Fig2Row     = experiments.Fig2Row
+	BinsRow     = experiments.BinsRow
+	CDFRow      = experiments.CDFRow
+	EvalRow     = experiments.EvalRow
+	Fig12Row    = experiments.Fig12Row
+	HugePageRow = experiments.HugePageRow
+	AblationRow = experiments.AblationRow
+)
+
+// Table and figure entry points; each has a matching Render helper.
+var (
+	Table2    = experiments.Table2
+	Table3    = experiments.Table3
+	Fig2      = experiments.Fig2
+	Fig3      = experiments.Fig3
+	Fig4      = experiments.Fig4
+	Fig5      = experiments.Fig5
+	Fig6      = experiments.Fig6
+	Eval      = experiments.Eval
+	Fig12     = experiments.Fig12
+	HugePages = experiments.HugePages
+
+	AblationSharing     = experiments.AblationSharing
+	AblationThrottle    = experiments.AblationThrottle
+	AblationWarpSched   = experiments.AblationWarpSched
+	AblationPWC         = experiments.AblationPWC
+	AblationReplacement = experiments.AblationReplacement
+	SMBalance           = experiments.SMBalance
+	SeedSweep           = experiments.SeedSweep
+	WarpReuse           = experiments.WarpReuse
+
+	RenderTable2    = experiments.RenderTable2
+	RenderFig2      = experiments.RenderFig2
+	RenderBins      = experiments.RenderBins
+	RenderCDF       = experiments.RenderCDF
+	RenderFig10     = experiments.RenderFig10
+	RenderFig11     = experiments.RenderFig11
+	RenderFig12     = experiments.RenderFig12
+	RenderHugePages = experiments.RenderHugePages
+	RenderAblation  = experiments.RenderAblation
+	RenderSMBalance = experiments.RenderSMBalance
+	RenderSeedSweep = experiments.RenderSeedSweep
+)
+
+// SeedSweepRow is the per-seed robustness row.
+type SeedSweepRow = experiments.SeedSweepRow
+
+// SMBalanceRow is the per-SM hit-rate spread study row.
+type SMBalanceRow = experiments.SMBalanceRow
+
+// Warp scheduler and replacement policy constants.
+const (
+	WarpGTO        = arch.WarpGTO
+	WarpLRR        = arch.WarpLRR
+	WarpTransAware = arch.WarpTransAware
+
+	ReplaceLRU    = arch.ReplaceLRU
+	ReplaceFIFO   = arch.ReplaceFIFO
+	ReplaceRandom = arch.ReplaceRandom
+)
+
+// WriteKernelTrace serializes a kernel to the compact binary trace format.
+func WriteKernelTrace(w io.Writer, k *Kernel) error { return trace.WriteKernel(w, k) }
+
+// ReadKernelTrace deserializes a kernel written by WriteKernelTrace (or an
+// external tracer emitting the same format).
+func ReadKernelTrace(r io.Reader) (*Kernel, error) { return trace.ReadKernel(r) }
+
+// NewAddressSpace creates a bare UVM address space for running imported
+// traces (pageShift 12 for 4KB pages, 21 for 2MB).
+func NewAddressSpace(pageShift uint, seed int64) *AddressSpace {
+	return vm.NewAddressSpace(pageShift, seed, 0)
+}
+
+// Graph is a CSR graph usable as input for the graph benchmarks.
+type Graph = graph.CSR
+
+// ReadDIMACSGraph parses a DIMACS-10 graph file (the format of the paper's
+// coPapersCiteseer input).
+func ReadDIMACSGraph(r io.Reader) (*Graph, error) { return graph.ReadDIMACS(r) }
+
+// WriteDIMACSGraph exports a graph in DIMACS-10 format.
+func WriteDIMACSGraph(w io.Writer, g *Graph) error { return graph.WriteDIMACS(w, g) }
+
+// GenerateGraph builds the synthetic power-law citation graph the suite
+// uses in place of coPapersCiteseer.
+func GenerateGraph(numNodes, edgesPerNode int, seed int64) *Graph {
+	return graph.Generate(numNodes, edgesPerNode, seed)
+}
+
+// BuildOnGraph constructs one of the graph benchmarks (bfs, color, mis,
+// pagerank) over a caller-provided graph — e.g. the real citation graph
+// loaded with ReadDIMACSGraph.
+func BuildOnGraph(name string, g *Graph, p Params) (*Kernel, *AddressSpace, error) {
+	return workloads.BuildOnGraph(name, g, p)
+}

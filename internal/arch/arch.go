@@ -1,0 +1,391 @@
+// Package arch defines the architectural configuration of the simulated
+// CPU-GPU system: SM resources, TLB geometry, page-table-walker parameters,
+// cache sizes and latencies. The defaults reproduce Table III of the paper
+// (16 SMs, 64-entry 4-way per-SM L1 TLBs, 512-entry 16-way shared L2 TLB,
+// 8 shared page-table walkers with 500-cycle walks).
+package arch
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Page sizes supported by the UVM substrate.
+const (
+	PageSize4K = 1 << 12 // 4KB base pages
+	PageSize2M = 1 << 21 // 2MB huge pages
+)
+
+// WarpSize is the number of threads that execute in lock-step.
+const WarpSize = 32
+
+// TLBIndexPolicy selects how the L1 TLB maps a translation to a set.
+type TLBIndexPolicy int
+
+const (
+	// IndexByAddress is the conventional design: low VPN bits select the set.
+	IndexByAddress TLBIndexPolicy = iota
+	// IndexByTB partitions the sets among the hardware TB ids resident on
+	// the SM (paper Section IV-B, Figure 8).
+	IndexByTB
+	// IndexByTBShared is IndexByTB plus dynamic adjacent-set sharing driven
+	// by the 16-bit sharing-flag register (paper Figure 9).
+	IndexByTBShared
+)
+
+// String implements fmt.Stringer.
+func (p TLBIndexPolicy) String() string {
+	switch p {
+	case IndexByAddress:
+		return "address"
+	case IndexByTB:
+		return "tb-partitioned"
+	case IndexByTBShared:
+		return "tb-partitioned+sharing"
+	default:
+		return fmt.Sprintf("TLBIndexPolicy(%d)", int(p))
+	}
+}
+
+// SharingMode selects which neighbours a TB may spill translations to when
+// running under IndexByTBShared.
+type SharingMode int
+
+const (
+	// ShareAdjacent spills only into the next TB's sets (paper default).
+	ShareAdjacent SharingMode = iota
+	// ShareAllToAll may spill into any TB's sets (ablation; paper §IV-B
+	// discusses and rejects it for bookkeeping cost).
+	ShareAllToAll
+)
+
+// String implements fmt.Stringer.
+func (m SharingMode) String() string {
+	if m == ShareAllToAll {
+		return "all-to-all"
+	}
+	return "adjacent"
+}
+
+// TBSchedulerPolicy selects how thread blocks are dispatched to SMs.
+type TBSchedulerPolicy int
+
+const (
+	// ScheduleRoundRobin is the baseline GPU TB scheduler.
+	ScheduleRoundRobin TBSchedulerPolicy = iota
+	// ScheduleTLBAware is the thrashing-aware scheduler of paper §IV-A:
+	// prefer SMs with low instantaneous L1 TLB miss rates.
+	ScheduleTLBAware
+)
+
+// String implements fmt.Stringer.
+func (p TBSchedulerPolicy) String() string {
+	if p == ScheduleTLBAware {
+		return "tlb-aware"
+	}
+	return "round-robin"
+}
+
+// WarpSchedulerPolicy selects how an SM picks among ready warps.
+type WarpSchedulerPolicy int
+
+const (
+	// WarpGTO is greedy-then-oldest: the last-issued warp keeps priority,
+	// then the oldest ready warp (the Table III baseline).
+	WarpGTO WarpSchedulerPolicy = iota
+	// WarpLRR is loose round-robin over ready warps.
+	WarpLRR
+	// WarpTransAware is the translation reuse-aware warp scheduler the
+	// paper's conclusion proposes as future work: among ready warps,
+	// prefer one whose next memory access translates from the L1 TLB.
+	WarpTransAware
+)
+
+// String implements fmt.Stringer.
+func (p WarpSchedulerPolicy) String() string {
+	switch p {
+	case WarpLRR:
+		return "lrr"
+	case WarpTransAware:
+		return "translation-aware"
+	default:
+		return "gto"
+	}
+}
+
+// TLBReplacementPolicy selects the TLB victim-selection policy.
+type TLBReplacementPolicy int
+
+const (
+	// ReplaceLRU is true least-recently-used (the default).
+	ReplaceLRU TLBReplacementPolicy = iota
+	// ReplaceFIFO evicts the oldest-inserted entry regardless of use.
+	ReplaceFIFO
+	// ReplaceRandom evicts a deterministic pseudo-random way.
+	ReplaceRandom
+)
+
+// String implements fmt.Stringer.
+func (p TLBReplacementPolicy) String() string {
+	switch p {
+	case ReplaceFIFO:
+		return "fifo"
+	case ReplaceRandom:
+		return "random"
+	default:
+		return "lru"
+	}
+}
+
+// TLBConfig describes one TLB level.
+type TLBConfig struct {
+	Entries       int // total entries
+	Assoc         int // ways per set
+	LookupLatency int // cycles for a single-set probe
+}
+
+// Sets returns the number of sets.
+func (c TLBConfig) Sets() int { return c.Entries / c.Assoc }
+
+// Validate checks geometric consistency.
+func (c TLBConfig) Validate() error {
+	switch {
+	case c.Entries <= 0:
+		return errors.New("arch: TLB entries must be positive")
+	case c.Assoc <= 0:
+		return errors.New("arch: TLB associativity must be positive")
+	case c.Entries%c.Assoc != 0:
+		return fmt.Errorf("arch: TLB entries %d not divisible by associativity %d", c.Entries, c.Assoc)
+	case c.LookupLatency < 0:
+		return errors.New("arch: TLB lookup latency must be non-negative")
+	}
+	sets := c.Entries / c.Assoc
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("arch: TLB set count %d must be a power of two", sets)
+	}
+	return nil
+}
+
+// CacheConfig describes one data-cache level.
+type CacheConfig struct {
+	SizeBytes  int
+	LineBytes  int
+	Assoc      int
+	HitLatency int // cycles from issue to data for a hit at this level
+}
+
+// Sets returns the number of sets.
+func (c CacheConfig) Sets() int { return c.SizeBytes / (c.LineBytes * c.Assoc) }
+
+// Validate checks geometric consistency.
+func (c CacheConfig) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0:
+		return errors.New("arch: cache size, line size and associativity must be positive")
+	case c.SizeBytes%(c.LineBytes*c.Assoc) != 0:
+		return fmt.Errorf("arch: cache size %dB not divisible by %dB ways", c.SizeBytes, c.LineBytes*c.Assoc)
+	case c.HitLatency < 0:
+		return errors.New("arch: cache hit latency must be non-negative")
+	}
+	return nil
+}
+
+// Config is the full machine description.
+type Config struct {
+	// GPU geometry.
+	NumSMs        int
+	ClockMHz      int
+	MaxThreads    int // per SM
+	MaxTBsPerSM   int // hardware TB slots (Kepler-era limit of 16)
+	MaxWarpsPerSM int
+	IssueWidth    int // warps issued per SM per cycle (dual GTO scheduler)
+
+	// Per-SM resources consumed by TBs.
+	SharedMemPerSM int // bytes
+	RegistersPerSM int // 32-bit registers
+
+	// Translation hierarchy.
+	L1TLB            TLBConfig
+	L2TLB            TLBConfig
+	NumWalkers       int
+	WalkLatency      int // cycles for a full page-table walk
+	PageSize         int // PageSize4K or PageSize2M
+	PageFaultLatency int // UVM first-touch demand-paging fault, cycles
+
+	// Data caches and memory.
+	L1Cache             CacheConfig
+	L2Cache             CacheConfig
+	MemPartitions       int
+	InterconnectLatency int // SM <-> partition one-way traversal, cycles
+	NoCServiceCycles    int // crossbar port occupancy per request
+	DRAMLatency         int // row-miss (precharge+activate+column), cycles
+	DRAMRowHitLatency   int // open-row column access, cycles
+	DRAMBanksPerPart    int
+	DRAMRowBytes        int
+
+	// Policies under study.
+	TLBIndexPolicy TLBIndexPolicy
+	SharingMode    SharingMode
+	TBScheduler    TBSchedulerPolicy
+	// ShareCounterThreshold, when > 0, replaces the 1-bit sharing flag with
+	// a saturating counter that must reach the threshold before sharing
+	// activates (paper future-work ablation). 0 means the 1-bit flag.
+	ShareCounterThreshold int
+	// TLBCompression enables contiguity-coalescing entries in both TLB
+	// levels (the PACT'20 comparator used in Figure 12).
+	TLBCompression bool
+	// CompressionLatency is added to every L1 TLB probe when compression is
+	// on (compressor/comparator on the critical path).
+	CompressionLatency int
+	// ThrottleTBsPerSM, when > 0, caps concurrent TBs per SM below the
+	// resource limit (paper §IV-A extension note).
+	ThrottleTBsPerSM int
+	// TBDispatchPeriod is how often (cycles) the TB scheduler runs after
+	// launch. Freed slots accumulate between runs, which is when the
+	// TLB-aware policy has real placement choices.
+	TBDispatchPeriod int
+	// TranslationMSHRs is the number of outstanding L1 TLB misses one SM
+	// can sustain; further misses queue behind them.
+	TranslationMSHRs int
+	// WarpScheduler selects the per-SM warp scheduling policy.
+	WarpScheduler WarpSchedulerPolicy
+	// PWCEntries enables a shared page-walk cache holding that many
+	// last-level page-table pointers (covering 2MB regions); a PWC hit
+	// skips the upper levels of the walk. 0 disables it (Table III has
+	// none).
+	PWCEntries int
+	// TLBReplacement selects the replacement policy of both TLB levels.
+	TLBReplacement TLBReplacementPolicy
+	// SampleInterval, when > 0, records a windowed statistics sample every
+	// that many cycles (Result.Samples).
+	SampleInterval int
+	// L2TLBPorts is the number of independent L2 TLB banks (the L2 TLB is
+	// distributed across the memory partitions); probes to one bank
+	// serialize.
+	L2TLBPorts int
+}
+
+// Default returns the Table III baseline configuration.
+func Default() Config {
+	return Config{
+		NumSMs:        16,
+		ClockMHz:      1400,
+		MaxThreads:    2048,
+		MaxTBsPerSM:   16,
+		MaxWarpsPerSM: 64,
+		IssueWidth:    2,
+
+		SharedMemPerSM: 48 << 10,
+		RegistersPerSM: (64 << 10) / 4,
+
+		L1TLB:            TLBConfig{Entries: 64, Assoc: 4, LookupLatency: 1},
+		L2TLB:            TLBConfig{Entries: 512, Assoc: 16, LookupLatency: 10},
+		NumWalkers:       8,
+		WalkLatency:      500,
+		PageSize:         PageSize4K,
+		PageFaultLatency: 5000,
+
+		L1Cache:             CacheConfig{SizeBytes: 16 << 10, LineBytes: 128, Assoc: 4, HitLatency: 28},
+		L2Cache:             CacheConfig{SizeBytes: 1536 << 10, LineBytes: 128, Assoc: 8, HitLatency: 120},
+		MemPartitions:       12,
+		InterconnectLatency: 20,
+		NoCServiceCycles:    1,
+		DRAMLatency:         220,
+		DRAMRowHitLatency:   120,
+		DRAMBanksPerPart:    8,
+		DRAMRowBytes:        2048,
+
+		TLBIndexPolicy:     IndexByAddress,
+		SharingMode:        ShareAdjacent,
+		TBScheduler:        ScheduleRoundRobin,
+		CompressionLatency: 2,
+		TBDispatchPeriod:   64,
+		TranslationMSHRs:   16,
+		L2TLBPorts:         4,
+	}
+}
+
+// Validate checks the whole configuration for consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.NumSMs <= 0:
+		return errors.New("arch: NumSMs must be positive")
+	case c.MaxThreads < WarpSize:
+		return fmt.Errorf("arch: MaxThreads %d below warp size", c.MaxThreads)
+	case c.MaxTBsPerSM <= 0:
+		return errors.New("arch: MaxTBsPerSM must be positive")
+	case c.MaxWarpsPerSM <= 0:
+		return errors.New("arch: MaxWarpsPerSM must be positive")
+	case c.IssueWidth <= 0:
+		return errors.New("arch: IssueWidth must be positive")
+	case c.NumWalkers <= 0:
+		return errors.New("arch: NumWalkers must be positive")
+	case c.WalkLatency <= 0:
+		return errors.New("arch: WalkLatency must be positive")
+	case c.PageSize != PageSize4K && c.PageSize != PageSize2M:
+		return fmt.Errorf("arch: unsupported page size %d", c.PageSize)
+	case c.MemPartitions <= 0:
+		return errors.New("arch: MemPartitions must be positive")
+	case c.ThrottleTBsPerSM < 0:
+		return errors.New("arch: ThrottleTBsPerSM must be non-negative")
+	case c.ShareCounterThreshold < 0:
+		return errors.New("arch: ShareCounterThreshold must be non-negative")
+	case c.TBDispatchPeriod <= 0:
+		return errors.New("arch: TBDispatchPeriod must be positive")
+	case c.TranslationMSHRs <= 0:
+		return errors.New("arch: TranslationMSHRs must be positive")
+	case c.L2TLBPorts <= 0:
+		return errors.New("arch: L2TLBPorts must be positive")
+	case c.PWCEntries < 0:
+		return errors.New("arch: PWCEntries must be non-negative")
+	case c.SampleInterval < 0:
+		return errors.New("arch: SampleInterval must be non-negative")
+	}
+	if err := c.L1TLB.Validate(); err != nil {
+		return fmt.Errorf("L1 TLB: %w", err)
+	}
+	if err := c.L2TLB.Validate(); err != nil {
+		return fmt.Errorf("L2 TLB: %w", err)
+	}
+	if err := c.L1Cache.Validate(); err != nil {
+		return fmt.Errorf("L1 cache: %w", err)
+	}
+	if err := c.L2Cache.Validate(); err != nil {
+		return fmt.Errorf("L2 cache: %w", err)
+	}
+	return nil
+}
+
+// EffectiveMaxTBsPerSM returns the concurrent-TB cap after throttling.
+func (c Config) EffectiveMaxTBsPerSM() int {
+	if c.ThrottleTBsPerSM > 0 && c.ThrottleTBsPerSM < c.MaxTBsPerSM {
+		return c.ThrottleTBsPerSM
+	}
+	return c.MaxTBsPerSM
+}
+
+// PageShift returns log2(PageSize).
+func (c Config) PageShift() uint {
+	if c.PageSize == PageSize2M {
+		return 21
+	}
+	return 12
+}
+
+// String summarizes the configuration in a Table III-like block.
+func (c Config) String() string {
+	return fmt.Sprintf(
+		"GPU: %d SMs @ %dMHz, %d threads/SM, %d TB slots/SM, %d warps/SM, issue %d\n"+
+			"L1 TLB: %d entries %d-way (%d sets), %d-cycle lookup, policy=%s sharing=%s\n"+
+			"L2 TLB: %d entries %d-way, %d-cycle lookup, shared\n"+
+			"PTW: %d walkers, %d-cycle walks, %dB pages, %d-cycle UVM fault\n"+
+			"L1$: %dKB %d-way %dB lines; L2$: %dKB %d-way, %d partitions\n"+
+			"TB scheduler: %s",
+		c.NumSMs, c.ClockMHz, c.MaxThreads, c.MaxTBsPerSM, c.MaxWarpsPerSM, c.IssueWidth,
+		c.L1TLB.Entries, c.L1TLB.Assoc, c.L1TLB.Sets(), c.L1TLB.LookupLatency, c.TLBIndexPolicy, c.SharingMode,
+		c.L2TLB.Entries, c.L2TLB.Assoc, c.L2TLB.LookupLatency,
+		c.NumWalkers, c.WalkLatency, c.PageSize, c.PageFaultLatency,
+		c.L1Cache.SizeBytes>>10, c.L1Cache.Assoc, c.L1Cache.LineBytes,
+		c.L2Cache.SizeBytes>>10, c.L2Cache.Assoc, c.MemPartitions,
+		c.TBScheduler)
+}

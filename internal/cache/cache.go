@@ -1,0 +1,134 @@
+// Package cache provides the set-associative data caches of the simulated
+// GPU memory hierarchy (per-SM VIPT L1, shared sliced L2). Only the timing-
+// relevant behaviour is modelled: presence, LRU replacement, and hit/miss
+// statistics; data values are never stored.
+package cache
+
+import (
+	"gputlb/internal/arch"
+)
+
+// LineAddr identifies a cache line (byte address >> line shift).
+type LineAddr uint64
+
+// Stats counts cache activity.
+type Stats struct {
+	Accesses  int64
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// HitRate returns Hits/Accesses (0 when idle).
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+type line struct {
+	valid bool
+	tag   LineAddr
+	stamp uint64
+}
+
+// Cache is one cache level. Not safe for concurrent use.
+type Cache struct {
+	cfg   arch.CacheConfig
+	sets  [][]line
+	clock uint64
+	stats Stats
+}
+
+// New builds a cache from a validated config.
+func New(cfg arch.CacheConfig) *Cache {
+	c := &Cache{cfg: cfg}
+	n := cfg.Sets()
+	c.sets = make([][]line, n)
+	backing := make([]line, n*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	return c
+}
+
+// Config returns the geometry.
+func (c *Cache) Config() arch.CacheConfig { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes counters without touching contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// setOf maps a line to its set. Set counts need not be powers of two (the
+// 1536KB L2 has 1536 sets), so this uses modulo, not masking.
+func (c *Cache) setOf(addr LineAddr) int { return int(addr % LineAddr(len(c.sets))) }
+
+// Access looks up the line, allocating it on a miss (evicting LRU if the set
+// is full). It reports whether the access hit.
+func (c *Cache) Access(addr LineAddr) bool {
+	c.clock++
+	c.stats.Accesses++
+	set := c.sets[c.setOf(addr)]
+	victim := 0
+	best := ^uint64(0)
+	for w := range set {
+		l := &set[w]
+		if l.valid && l.tag == addr {
+			l.stamp = c.clock
+			c.stats.Hits++
+			return true
+		}
+		if !l.valid {
+			if best != 0 { // prefer any invalid way
+				best = 0
+				victim = w
+			}
+			continue
+		}
+		if l.stamp < best {
+			best = l.stamp
+			victim = w
+		}
+	}
+	c.stats.Misses++
+	if set[victim].valid {
+		c.stats.Evictions++
+	}
+	set[victim] = line{valid: true, tag: addr, stamp: c.clock}
+	return false
+}
+
+// Contains reports presence without disturbing LRU or stats.
+func (c *Cache) Contains(addr LineAddr) bool {
+	for _, l := range c.sets[c.setOf(addr)] {
+		if l.valid && l.tag == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, l := range set {
+			if l.valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Flush invalidates all lines.
+func (c *Cache) Flush() {
+	for si := range c.sets {
+		for w := range c.sets[si] {
+			c.sets[si][w] = line{}
+		}
+	}
+}

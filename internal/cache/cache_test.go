@@ -1,0 +1,129 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gputlb/internal/arch"
+)
+
+func small() *Cache {
+	return New(arch.CacheConfig{SizeBytes: 2048, LineBytes: 128, Assoc: 4, HitLatency: 28}) // 4 sets
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := small()
+	if c.Access(10) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(10) {
+		t.Error("warm access missed")
+	}
+	s := c.Stats()
+	if s.Accesses != 2 || s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.HitRate() != 0.5 {
+		t.Errorf("HitRate = %v, want 0.5", s.HitRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small() // 4 sets, 4 ways; lines ≡ 0 mod 4 share set 0
+	for i := 0; i < 4; i++ {
+		c.Access(LineAddr(4 * i))
+	}
+	c.Access(0)  // make line 0 MRU
+	c.Access(16) // evicts LRU = line 4
+	if c.Contains(4) {
+		t.Error("LRU victim still present")
+	}
+	for _, want := range []LineAddr{0, 8, 12, 16} {
+		if !c.Contains(want) {
+			t.Errorf("line %d missing", want)
+		}
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", c.Stats().Evictions)
+	}
+}
+
+func TestNonPowerOfTwoSets(t *testing.T) {
+	// 1536KB L2 shape: 1536 sets. Distinct lines must spread without panics.
+	c := New(arch.CacheConfig{SizeBytes: 1536 << 10, LineBytes: 128, Assoc: 8, HitLatency: 120})
+	for i := 0; i < 5000; i++ {
+		c.Access(LineAddr(i))
+	}
+	if got := c.Occupancy(); got != 5000 {
+		t.Errorf("occupancy = %d, want 5000 (capacity 12288)", got)
+	}
+	for i := 0; i < 5000; i++ {
+		if !c.Access(LineAddr(i)) {
+			t.Fatalf("line %d evicted below capacity", i)
+		}
+	}
+}
+
+func TestFlushAndReset(t *testing.T) {
+	c := small()
+	c.Access(1)
+	c.Flush()
+	if c.Occupancy() != 0 {
+		t.Error("Flush left lines valid")
+	}
+	c.ResetStats()
+	if c.Stats().Accesses != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+// Property: the cache tracks a bounded-capacity set model — after any access
+// sequence, every line reported by Contains was accessed at some point, and
+// occupancy never exceeds capacity.
+func TestCacheBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := small()
+		touched := make(map[LineAddr]bool)
+		for i := 0; i < 600; i++ {
+			a := LineAddr(rng.Intn(64))
+			c.Access(a)
+			touched[a] = true
+		}
+		if c.Occupancy() > 16 {
+			return false
+		}
+		for a := LineAddr(0); a < 64; a++ {
+			if c.Contains(a) && !touched[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a working set no larger than one set's ways never misses after
+// the cold pass, regardless of access order (true LRU has no pathologies
+// within capacity).
+func TestLRUWithinCapacityProperty(t *testing.T) {
+	f := func(order []uint8) bool {
+		c := small()
+		lines := []LineAddr{0, 4, 8, 12} // all in set 0, exactly 4 ways
+		for _, l := range lines {
+			c.Access(l)
+		}
+		for _, o := range order {
+			if !c.Access(lines[int(o)%len(lines)]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

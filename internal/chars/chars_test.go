@@ -1,0 +1,306 @@
+package chars
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gputlb/internal/trace"
+	"gputlb/internal/vm"
+	"gputlb/internal/workloads"
+)
+
+// kernelFromPages builds a kernel with one warp per TB whose memory
+// instructions touch exactly the given page sequence.
+func kernelFromPages(tbs ...[]vm.VPN) *trace.Kernel {
+	k := &trace.Kernel{Name: "synthetic", ThreadsPerTB: 32}
+	for i, pages := range tbs {
+		var wt trace.WarpTrace
+		for _, p := range pages {
+			wt.Insts = append(wt.Insts, trace.Inst{Addrs: []vm.Addr{vm.Addr(p) << 12}})
+		}
+		k.TBs = append(k.TBs, trace.TBTrace{ID: i, Warps: []trace.WarpTrace{wt}})
+	}
+	return k
+}
+
+func TestBinOf(t *testing.T) {
+	cases := []struct {
+		r    float64
+		want int
+	}{{0, 0}, {0.19, 0}, {0.2, 1}, {0.399, 1}, {0.5, 2}, {0.79, 3}, {0.8, 4}, {1.0, 4}}
+	for _, c := range cases {
+		if got := binOf(c.r); got != c.want {
+			t.Errorf("binOf(%v) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestIntraTBAllReused(t *testing.T) {
+	// Every page accessed twice: 100% of translations reused -> bin b5.
+	k := kernelFromPages([]vm.VPN{1, 2, 3, 1, 2, 3})
+	bins := IntraTB(k, 12)
+	if bins[4] != 1.0 {
+		t.Errorf("bins = %v, want all TBs in b5", bins)
+	}
+}
+
+func TestIntraTBNoReuse(t *testing.T) {
+	k := kernelFromPages([]vm.VPN{1, 2, 3, 4, 5, 6})
+	bins := IntraTB(k, 12)
+	if bins[0] != 1.0 {
+		t.Errorf("bins = %v, want all TBs in b1", bins)
+	}
+}
+
+func TestIntraTBHalfReused(t *testing.T) {
+	// Pages 1,1,2,3: accesses to reused pages = 2 of 4 -> 50% -> b3.
+	k := kernelFromPages([]vm.VPN{1, 1, 2, 3})
+	bins := IntraTB(k, 12)
+	if bins[2] != 1.0 {
+		t.Errorf("bins = %v, want all TBs in b3 (50%%)", bins)
+	}
+}
+
+func TestInterTBDisjointAndIdentical(t *testing.T) {
+	disjoint := kernelFromPages([]vm.VPN{1, 2}, []vm.VPN{3, 4})
+	bins := InterTB(disjoint, 12, 0)
+	if bins[0] != 1.0 {
+		t.Errorf("disjoint TBs: bins = %v, want all pairs in b1", bins)
+	}
+	identical := kernelFromPages([]vm.VPN{1, 2}, []vm.VPN{1, 2})
+	bins = InterTB(identical, 12, 0)
+	if bins[4] != 1.0 {
+		t.Errorf("identical TBs: bins = %v, want all pairs in b5", bins)
+	}
+}
+
+func TestInterTBAsymmetric(t *testing.T) {
+	// TB0: pages {1,2,3,4}, TB1: {1}. R(0->1) = 1/4 (b2); R(1->0) = 1 (b5).
+	k := kernelFromPages([]vm.VPN{1, 2, 3, 4}, []vm.VPN{1})
+	bins := InterTB(k, 12, 0)
+	if bins[1] != 0.5 || bins[4] != 0.5 {
+		t.Errorf("bins = %v, want 0.5 in b2 and 0.5 in b5", bins)
+	}
+}
+
+func TestBinsSumToOne(t *testing.T) {
+	s, _ := workloads.ByName("gemm")
+	k, _ := s.Build(workloads.Params{PageShift: 12, Seed: 1, Scale: 0.25})
+	for name, bins := range map[string]Bins{
+		"intra": IntraTB(k, 12),
+		"inter": InterTB(k, 12, 32),
+	} {
+		sum := 0.0
+		for _, b := range bins {
+			sum += b
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s bins sum to %v, want 1", name, sum)
+		}
+	}
+}
+
+func TestIsolatedDistanceSimple(t *testing.T) {
+	// Stream 1,2,3,1: reuse of page 1 with 2 distinct pages between.
+	k := kernelFromPages([]vm.VPN{1, 2, 3, 1})
+	cdf := IsolatedReuseDistance(k, 12)
+	if cdf.Reuses != 1 {
+		t.Fatalf("Reuses = %d, want 1", cdf.Reuses)
+	}
+	if got := cdf.FractionWithin(3); got != 1.0 {
+		t.Errorf("distance 2 should fall in the first bucket (<=8); CDF(8) = %v", got)
+	}
+}
+
+func TestIsolatedDistanceCountsUniquePages(t *testing.T) {
+	// 1, 2,2,2,2, 1: only one distinct page between the two accesses of 1.
+	k := kernelFromPages([]vm.VPN{1, 2, 2, 2, 2, 1})
+	cdf := IsolatedReuseDistance(k, 12)
+	// Reuses: page 2 reused 3x at distance 0, page 1 once at distance 1.
+	if cdf.Reuses != 4 {
+		t.Fatalf("Reuses = %d, want 4", cdf.Reuses)
+	}
+	if got := cdf.FractionWithin(3); got != 1.0 {
+		t.Errorf("all distances <= 8, CDF(8) = %v", got)
+	}
+}
+
+// naiveDistances computes intra-TB reuse distances of a single stream by
+// brute force.
+func naiveDistances(stream []vm.VPN) []int64 {
+	var out []int64
+	for i, p := range stream {
+		prev := -1
+		for j := i - 1; j >= 0; j-- {
+			if stream[j] == p {
+				prev = j
+				break
+			}
+		}
+		if prev < 0 {
+			continue
+		}
+		uniq := map[vm.VPN]bool{}
+		for j := prev + 1; j < i; j++ {
+			uniq[stream[j]] = true
+		}
+		delete(uniq, p)
+		out = append(out, int64(len(uniq)))
+	}
+	return out
+}
+
+// Property: the Fenwick-tree scanner matches the brute-force distance
+// computation on random streams.
+func TestDistanceScannerMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		stream := make([]vm.VPN, 200)
+		for i := range stream {
+			stream[i] = vm.VPN(rng.Intn(20))
+		}
+		want := naiveDistances(stream)
+		ds := newDistanceScanner(len(stream))
+		last := make(map[vm.VPN]int)
+		var got []int64
+		for _, p := range stream {
+			prev := -1
+			if lp, ok := last[p]; ok {
+				prev = lp
+			}
+			d, pos := ds.access(p, prev)
+			last[p] = pos
+			if d >= 0 {
+				got = append(got, d)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleavingEnlargesIntraTBDistances(t *testing.T) {
+	// Two TBs with identical private loops: alone, each reuse has distance
+	// 3; interleaved on one SM, each TB's pages sit between the other's
+	// reuses.
+	loop := func(base vm.VPN) []vm.VPN {
+		var s []vm.VPN
+		for r := 0; r < 10; r++ {
+			for p := vm.VPN(0); p < 4; p++ {
+				s = append(s, base+p)
+			}
+		}
+		return s
+	}
+	k := kernelFromPages(loop(100), loop(200), loop(300), loop(400))
+	iso := IsolatedReuseDistance(k, 12)
+	inter := InterleavedReuseDistance(k, 12, 1, 4)
+	if iso.Reuses != inter.Reuses {
+		t.Fatalf("reuse counts differ: %d vs %d", iso.Reuses, inter.Reuses)
+	}
+	if iso.FractionWithin(3) != 1.0 {
+		t.Errorf("isolated distances should all be <= 8, got CDF(8)=%v", iso.FractionWithin(3))
+	}
+	if inter.FractionWithin(3) >= 1.0 {
+		t.Errorf("interleaved distances must exceed isolated ones; CDF(8)=%v", inter.FractionWithin(3))
+	}
+}
+
+func TestInterleavedHandlesUnevenTBs(t *testing.T) {
+	k := kernelFromPages(
+		[]vm.VPN{1, 2, 1},
+		[]vm.VPN{10},
+		[]vm.VPN{20, 21, 22, 23, 20},
+	)
+	cdf := InterleavedReuseDistance(k, 12, 2, 2)
+	if cdf.Reuses != 2 {
+		t.Errorf("Reuses = %d, want 2 (pages 1 and 20)", cdf.Reuses)
+	}
+}
+
+func TestPaperObservation1IntraOverInter(t *testing.T) {
+	// Paper Observation 1: graph benchmarks show substantial intra-TB reuse
+	// and little inter-TB reuse.
+	p := workloads.Params{PageShift: 12, Seed: 1, Scale: 0.5}
+	s, _ := workloads.ByName("bfs")
+	k, _ := s.Build(p)
+	intra := IntraTB(k, 12)
+	inter := InterTB(k, 12, 0)       // exhaustive, as in the paper
+	intraHigh := intra[3] + intra[4] // >= 60% reuse
+	interLow := inter[0]             // < 20% reuse
+	if intraHigh < 0.5 {
+		t.Errorf("bfs intra-TB: only %.2f of TBs in b4+b5; want substantial intra reuse (bins %v)", intraHigh, intra)
+	}
+	if interLow < 0.6 {
+		t.Errorf("bfs inter-TB: only %.2f of pairs in b1; want little inter reuse (bins %v)", interLow, inter)
+	}
+}
+
+func TestPaperObservation2MatrixKernelsShareAcrossTBs(t *testing.T) {
+	// Paper Observation 2: atax/bicg/gemm/mvt have sizable inter-TB reuse.
+	p := workloads.Params{PageShift: 12, Seed: 1, Scale: 0.5}
+	for _, name := range []string{"gemm", "atax"} {
+		s, _ := workloads.ByName(name)
+		k, _ := s.Build(p)
+		inter := InterTB(k, 12, 96)
+		beyond := 1 - inter[0]
+		if beyond < 0.1 {
+			t.Errorf("%s: only %.2f of pairs beyond b1; matrix kernels must show inter-TB reuse (bins %v)",
+				name, beyond, inter)
+		}
+	}
+}
+
+func TestEmptyKernels(t *testing.T) {
+	empty := &trace.Kernel{Name: "empty"}
+	if IntraTB(empty, 12) != (Bins{}) {
+		t.Error("IntraTB of empty kernel not zero")
+	}
+	if InterTB(empty, 12, 0) != (Bins{}) {
+		t.Error("InterTB of empty kernel not zero")
+	}
+	one := kernelFromPages([]vm.VPN{1})
+	if InterTB(one, 12, 0) != (Bins{}) {
+		t.Error("InterTB of single-TB kernel not zero")
+	}
+	if cdf := IsolatedReuseDistance(one, 12); cdf.Reuses != 0 {
+		t.Error("single cold access produced a reuse")
+	}
+}
+
+func TestIntraWarp(t *testing.T) {
+	// One warp with full page reuse, one with none.
+	k := &trace.Kernel{Name: "w", ThreadsPerTB: 64}
+	mem := func(pages ...vm.VPN) trace.Inst {
+		addrs := make([]vm.Addr, len(pages))
+		for i, p := range pages {
+			addrs[i] = vm.Addr(p) << 12
+		}
+		return trace.Inst{Addrs: addrs}
+	}
+	k.TBs = []trace.TBTrace{{Warps: []trace.WarpTrace{
+		{Insts: []trace.Inst{mem(1), mem(1), mem(1)}},       // all reused -> b5
+		{Insts: []trace.Inst{mem(2), mem(3), {Compute: 5}}}, // none -> b1
+	}}}
+	bins := IntraWarp(k, 12)
+	if bins[4] != 0.5 || bins[0] != 0.5 {
+		t.Errorf("bins = %v, want half b5 half b1", bins)
+	}
+}
+
+func TestIntraWarpEmpty(t *testing.T) {
+	if IntraWarp(&trace.Kernel{}, 12) != (Bins{}) {
+		t.Error("empty kernel produced non-zero bins")
+	}
+}

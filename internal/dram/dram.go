@@ -1,0 +1,88 @@
+// Package dram models the GPU's memory partitions: each partition owns a
+// set of DRAM banks with open-row buffers. An access that hits the bank's
+// open row pays the column latency; one that misses pays precharge +
+// activate + column. Banks serialize their own accesses, so hot partitions
+// queue — the memory-side contention behind the L2 data cache of the
+// paper's Figure 1.
+package dram
+
+import (
+	"gputlb/internal/cache"
+	"gputlb/internal/engine"
+	"gputlb/internal/noc"
+)
+
+// Config parameterizes the DRAM model.
+type Config struct {
+	Partitions    int
+	BanksPerPart  int
+	RowBytes      int // row-buffer size
+	RowHitCycles  int // column access on an open row
+	RowMissCycles int // precharge + activate + column
+	LineBytes     int
+}
+
+// DRAM is the banked memory system. Bank occupancy uses an
+// order-insensitive window meter (the simulator discovers accesses out of
+// timestamp order). Not safe for concurrent use.
+type DRAM struct {
+	cfg     Config
+	meters  [][]noc.Meter // [partition][bank]
+	openRow [][]int64     // [partition][bank], -1 = closed
+	hits    int64
+	misses  int64
+}
+
+// New builds the memory system.
+func New(cfg Config) *DRAM {
+	if cfg.Partitions < 1 || cfg.BanksPerPart < 1 {
+		panic("dram: need at least one partition and bank")
+	}
+	if cfg.RowBytes < cfg.LineBytes {
+		panic("dram: row smaller than a line")
+	}
+	d := &DRAM{cfg: cfg}
+	d.meters = make([][]noc.Meter, cfg.Partitions)
+	d.openRow = make([][]int64, cfg.Partitions)
+	for p := range d.meters {
+		d.meters[p] = make([]noc.Meter, cfg.BanksPerPart)
+		d.openRow[p] = make([]int64, cfg.BanksPerPart)
+		for b := range d.openRow[p] {
+			d.openRow[p][b] = -1
+		}
+	}
+	return d
+}
+
+// Partition maps a line to its memory partition (address-interleaved).
+func (d *DRAM) Partition(line cache.LineAddr) int {
+	return int(line % cache.LineAddr(d.cfg.Partitions))
+}
+
+// Access services one line read at cycle at and returns its completion
+// time. The line's bank is derived from the partition-local address; the
+// row is the line's position within the bank.
+func (d *DRAM) Access(line cache.LineAddr, at engine.Cycle) engine.Cycle {
+	part := d.Partition(line)
+	local := uint64(line) / uint64(d.cfg.Partitions)
+	linesPerRow := uint64(d.cfg.RowBytes / d.cfg.LineBytes)
+	bank := int(local / linesPerRow % uint64(d.cfg.BanksPerPart))
+	row := int64(local / linesPerRow / uint64(d.cfg.BanksPerPart))
+
+	lat := engine.Cycle(d.cfg.RowMissCycles)
+	if d.openRow[part][bank] == row {
+		lat = engine.Cycle(d.cfg.RowHitCycles)
+		d.hits++
+	} else {
+		d.openRow[part][bank] = row
+		d.misses++
+	}
+	start := d.meters[part][bank].Reserve(at, int(lat))
+	return start + lat
+}
+
+// RowHits returns open-row hits; RowMisses returns activations.
+func (d *DRAM) RowHits() int64 { return d.hits }
+
+// RowMisses returns the number of row activations.
+func (d *DRAM) RowMisses() int64 { return d.misses }

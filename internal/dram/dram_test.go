@@ -1,0 +1,77 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gputlb/internal/cache"
+	"gputlb/internal/engine"
+)
+
+func cfg() Config {
+	return Config{Partitions: 4, BanksPerPart: 2, RowBytes: 1024, RowHitCycles: 60, RowMissCycles: 200, LineBytes: 128}
+}
+
+func TestRowHitVsMiss(t *testing.T) {
+	d := New(cfg())
+	first := d.Access(0, 0)
+	if first != 200 {
+		t.Errorf("cold access done at %d, want 200 (row miss)", first)
+	}
+	// Same row (lines 0..7 of partition 0 share a 1KB row).
+	second := d.Access(4, first)
+	if second != first+60 {
+		t.Errorf("open-row access done at %d, want %d", second, first+60)
+	}
+	if d.RowHits() != 1 || d.RowMisses() != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", d.RowHits(), d.RowMisses())
+	}
+}
+
+func TestBankConflictSerializes(t *testing.T) {
+	d := New(cfg())
+	a := d.Access(0, 0)
+	b := d.Access(0, 0) // same bank, same time: queues behind
+	if b <= a {
+		t.Errorf("bank conflict not serialized: %d then %d", a, b)
+	}
+}
+
+func TestPartitionsIndependent(t *testing.T) {
+	d := New(cfg())
+	a := d.Access(0, 0)
+	b := d.Access(1, 0) // different partition
+	if a != b {
+		t.Errorf("independent partitions finished at %d and %d", a, b)
+	}
+}
+
+func TestPartitionMapping(t *testing.T) {
+	d := New(cfg())
+	for line := cache.LineAddr(0); line < 16; line++ {
+		if got := d.Partition(line); got != int(line%4) {
+			t.Errorf("Partition(%d) = %d, want %d", line, got, line%4)
+		}
+	}
+}
+
+// Property: every access costs at least the row-hit latency, and hits plus
+// misses account for every access.
+func TestAccessProperty(t *testing.T) {
+	f := func(lines []uint16) bool {
+		d := New(cfg())
+		at := engine.Cycle(0)
+		for _, l := range lines {
+			line := cache.LineAddr(l)
+			done := d.Access(line, at)
+			if done < at+60 {
+				return false
+			}
+			at += 3
+		}
+		return d.RowHits()+d.RowMisses() == int64(len(lines))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

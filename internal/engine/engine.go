@@ -1,0 +1,89 @@
+// Package engine provides the discrete-event core shared by the timing
+// simulator: a cycle clock and a deterministic min-heap event queue. Events
+// scheduled for the same cycle fire in insertion order so simulations are
+// bit-reproducible.
+package engine
+
+import "container/heap"
+
+// Cycle is a point in simulated time, in GPU core clock cycles.
+type Cycle int64
+
+// Event is a callback scheduled to run at a specific cycle.
+type Event struct {
+	At Cycle
+	Fn func()
+
+	seq   int64 // tie-break: FIFO among same-cycle events
+	index int   // heap bookkeeping
+}
+
+// Queue is a deterministic event queue. The zero value is ready to use.
+type Queue struct {
+	h       eventHeap
+	nextSeq int64
+}
+
+// Schedule enqueues fn to run at cycle at. Scheduling in the past (before the
+// last popped cycle) is the caller's bug; the queue does not detect it, the
+// simulator's Run loop does.
+func (q *Queue) Schedule(at Cycle, fn func()) {
+	ev := &Event{At: at, Fn: fn, seq: q.nextSeq}
+	q.nextSeq++
+	heap.Push(&q.h, ev)
+}
+
+// Len reports the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// NextCycle returns the cycle of the earliest pending event. It panics if the
+// queue is empty; check Len first.
+func (q *Queue) NextCycle() Cycle {
+	if len(q.h) == 0 {
+		panic("engine: NextCycle on empty queue")
+	}
+	return q.h[0].At
+}
+
+// Pop removes and returns the earliest event.
+func (q *Queue) Pop() *Event {
+	if len(q.h) == 0 {
+		panic("engine: Pop on empty queue")
+	}
+	return heap.Pop(&q.h).(*Event)
+}
+
+// RunUntil fires every event with At <= limit, in order.
+func (q *Queue) RunUntil(limit Cycle) {
+	for len(q.h) > 0 && q.h[0].At <= limit {
+		q.Pop().Fn()
+	}
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueOrdersByCycle(t *testing.T) {
+	var q Queue
+	var got []Cycle
+	for _, at := range []Cycle{50, 10, 30, 20, 40} {
+		at := at
+		q.Schedule(at, func() { got = append(got, at) })
+	}
+	q.RunUntil(100)
+	want := []Cycle{10, 20, 30, 40, 50}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueSameCycleFIFO(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(7, func() { got = append(got, i) })
+	}
+	q.RunUntil(7)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-cycle order %v, want FIFO", got)
+		}
+	}
+}
+
+func TestQueueRunUntilLimit(t *testing.T) {
+	var q Queue
+	fired := 0
+	q.Schedule(5, func() { fired++ })
+	q.Schedule(10, func() { fired++ })
+	q.Schedule(11, func() { fired++ })
+	q.RunUntil(10)
+	if fired != 2 {
+		t.Errorf("fired %d events by cycle 10, want 2", fired)
+	}
+	if q.Len() != 1 {
+		t.Errorf("pending = %d, want 1", q.Len())
+	}
+	if q.NextCycle() != 11 {
+		t.Errorf("NextCycle = %d, want 11", q.NextCycle())
+	}
+}
+
+func TestQueueEventsMaySchedule(t *testing.T) {
+	var q Queue
+	var got []Cycle
+	q.Schedule(1, func() {
+		got = append(got, 1)
+		q.Schedule(2, func() { got = append(got, 2) })
+	})
+	q.RunUntil(5)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("chained scheduling produced %v, want [1 2]", got)
+	}
+}
+
+func TestQueuePanicsOnEmpty(t *testing.T) {
+	var q Queue
+	for name, fn := range map[string]func(){
+		"NextCycle": func() { q.NextCycle() },
+		"Pop":       func() { q.Pop() },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty queue did not panic", name)
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// Property: popping a randomly scheduled set of events yields a
+// non-decreasing cycle sequence identical to the sorted input.
+func TestQueueHeapProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var q Queue
+		want := make([]Cycle, len(raw))
+		for i, r := range raw {
+			want[i] = Cycle(r)
+			q.Schedule(Cycle(r), func() {})
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := 0; q.Len() > 0; i++ {
+			ev := q.Pop()
+			if ev.At != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueDeterministicUnderMixedLoad(t *testing.T) {
+	run := func() []int {
+		var q Queue
+		rng := rand.New(rand.NewSource(42))
+		var order []int
+		for i := 0; i < 500; i++ {
+			i := i
+			q.Schedule(Cycle(rng.Intn(50)), func() { order = append(order, i) })
+		}
+		q.RunUntil(50)
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("two identical runs diverged: event queue is nondeterministic")
+		}
+	}
+}
+
+func TestQueueInterleavedScheduleAndPop(t *testing.T) {
+	var q Queue
+	q.Schedule(5, func() {})
+	ev := q.Pop()
+	if ev.At != 5 {
+		t.Fatalf("popped %d", ev.At)
+	}
+	q.Schedule(2, func() {})
+	q.Schedule(9, func() {})
+	if q.NextCycle() != 2 {
+		t.Errorf("NextCycle = %d, want 2", q.NextCycle())
+	}
+	q.Pop()
+	if q.Len() != 1 || q.NextCycle() != 9 {
+		t.Errorf("queue state wrong: len=%d next=%d", q.Len(), q.NextCycle())
+	}
+}

@@ -1,0 +1,763 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: the benchmark table (Table II), the baseline configuration
+// (Table III), the motivation hit rates (Figure 2), the reuse
+// characterization (Figures 3-6), the main evaluation (Figures 10 and 11),
+// the TLB-compression comparison (Figure 12), the huge-page study, and the
+// ablations the paper defers to future work. Each experiment returns
+// structured rows plus a text rendering shared by the CLI tools, the
+// benchmark harness and EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+
+	"gputlb/internal/arch"
+	"gputlb/internal/chars"
+	"gputlb/internal/metrics"
+	"gputlb/internal/sim"
+	"gputlb/internal/workloads"
+)
+
+// Options selects the workloads and scale for an experiment run.
+type Options struct {
+	// Params configures workload construction. PageShift must match the
+	// page size of the configs built for the runs.
+	Params workloads.Params
+	// Benchmarks restricts the run (nil = the full Table II suite).
+	Benchmarks []string
+	// MaxTBsForPairs caps the exhaustive TB-pair computation of Figure 3.
+	MaxTBsForPairs int
+}
+
+// DefaultOptions returns experiment-scale settings.
+func DefaultOptions() Options {
+	return Options{
+		Params:         workloads.DefaultParams(),
+		MaxTBsForPairs: 384,
+	}
+}
+
+func (o Options) specs() ([]workloads.Spec, error) {
+	if o.Benchmarks == nil {
+		return workloads.All(), nil
+	}
+	var out []workloads.Spec
+	for _, name := range o.Benchmarks {
+		s, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Configurations of the evaluation (paper Section V).
+
+// BaselineConfig is Table III: round-robin scheduling, address-indexed TLBs.
+func BaselineConfig() arch.Config { return arch.Default() }
+
+// SchedConfig enables only the thrashing-aware TB scheduler.
+func SchedConfig() arch.Config {
+	c := arch.Default()
+	c.TBScheduler = arch.ScheduleTLBAware
+	return c
+}
+
+// PartConfig is scheduling plus TB-id TLB partitioning (no sharing) — the
+// "partitioning only" bars of Figures 10/11.
+func PartConfig() arch.Config {
+	c := SchedConfig()
+	c.TLBIndexPolicy = arch.IndexByTB
+	return c
+}
+
+// ShareConfig is the full proposal: scheduling + partitioning + dynamic
+// adjacent-set sharing.
+func ShareConfig() arch.Config {
+	c := SchedConfig()
+	c.TLBIndexPolicy = arch.IndexByTBShared
+	return c
+}
+
+// run builds the benchmark fresh and simulates it under cfg.
+func run(s workloads.Spec, p workloads.Params, cfg arch.Config) (sim.Result, error) {
+	k, as := s.Build(p)
+	return sim.Run(cfg, k, as)
+}
+
+// ---------------------------------------------------------------- Table II
+
+// Table2Row is one benchmark of the suite with its paper-reported footprint
+// and the scaled footprint of our reproduction.
+type Table2Row struct {
+	Name, Suite, Input string
+	PaperFootprintGB   float64
+	ScaledFootprintMB  float64
+	TBs                int
+	MemInsts           int
+	UniquePages        int
+}
+
+// Table2 reproduces the benchmark table.
+func Table2(opt Options) ([]Table2Row, error) {
+	specs, err := opt.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table2Row
+	for _, s := range specs {
+		k, as := s.Build(opt.Params)
+		rows = append(rows, Table2Row{
+			Name: s.Name, Suite: s.Suite, Input: s.Input,
+			PaperFootprintGB:  s.PaperFootprintGB,
+			ScaledFootprintMB: float64(workloads.FootprintBytes(as)) / (1 << 20),
+			TBs:               len(k.TBs),
+			MemInsts:          k.MemInsts(),
+			UniquePages:       workloads.UniquePages(k, opt.Params.PageShift),
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable2 formats Table II.
+func RenderTable2(rows []Table2Row) string {
+	t := metrics.NewTable("Benchmark", "Suite", "Input", "Paper footprint", "Scaled footprint", "TBs", "MemInsts", "Pages")
+	for _, r := range rows {
+		t.AddRow(r.Name, r.Suite, r.Input,
+			fmt.Sprintf("%.2fGB", r.PaperFootprintGB),
+			fmt.Sprintf("%.1fMB", r.ScaledFootprintMB),
+			fmt.Sprint(r.TBs), fmt.Sprint(r.MemInsts), fmt.Sprint(r.UniquePages))
+	}
+	return "Table II — benchmarks (paper footprints vs scaled reproduction)\n" + t.String()
+}
+
+// ----------------------------------------------------------------- Figure 2
+
+// Fig2Row holds the motivation hit rates at two L1 TLB capacities.
+type Fig2Row struct {
+	Bench  string
+	Hit64  float64
+	Hit256 float64
+}
+
+// Fig2 runs the baseline with 64- and 256-entry L1 TLBs.
+func Fig2(opt Options) ([]Fig2Row, error) {
+	specs, err := opt.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig2Row
+	for _, s := range specs {
+		small, err := run(s, opt.Params, BaselineConfig())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		cfg := BaselineConfig()
+		cfg.L1TLB.Entries = 256
+		big, err := run(s, opt.Params, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		rows = append(rows, Fig2Row{s.Name, small.L1TLBHitRate, big.L1TLBHitRate})
+	}
+	return rows, nil
+}
+
+// RenderFig2 formats Figure 2.
+func RenderFig2(rows []Fig2Row) string {
+	t := metrics.NewTable("Benchmark", "64-entry hit", "256-entry hit", "64-entry")
+	for _, r := range rows {
+		t.AddRow(r.Bench, metrics.Pct(r.Hit64), metrics.Pct(r.Hit256), metrics.Bar(r.Hit64, 30))
+	}
+	return "Figure 2 — baseline L1 TLB hit rates, 64 vs 256 entries\n" + t.String()
+}
+
+// ------------------------------------------------------------ Figures 3 & 4
+
+// BinsRow is one benchmark's reuse-intensity distribution.
+type BinsRow struct {
+	Bench string
+	Bins  chars.Bins
+}
+
+// Fig3 computes inter-TB reuse-intensity bins.
+func Fig3(opt Options) ([]BinsRow, error) {
+	specs, err := opt.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []BinsRow
+	for _, s := range specs {
+		k, _ := s.Build(opt.Params)
+		rows = append(rows, BinsRow{s.Name, chars.InterTB(k, opt.Params.PageShift, opt.MaxTBsForPairs)})
+	}
+	return rows, nil
+}
+
+// Fig4 computes intra-TB reuse-intensity bins.
+func Fig4(opt Options) ([]BinsRow, error) {
+	specs, err := opt.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []BinsRow
+	for _, s := range specs {
+		k, _ := s.Build(opt.Params)
+		rows = append(rows, BinsRow{s.Name, chars.IntraTB(k, opt.Params.PageShift)})
+	}
+	return rows, nil
+}
+
+// RenderBins formats a Figure 3/4-style bin table.
+func RenderBins(title string, rows []BinsRow) string {
+	t := metrics.NewTable("Benchmark", "b1 (<20%)", "b2", "b3", "b4", "b5 (>80%)")
+	for _, r := range rows {
+		t.AddRow(r.Bench,
+			metrics.Pct(r.Bins[0]), metrics.Pct(r.Bins[1]), metrics.Pct(r.Bins[2]),
+			metrics.Pct(r.Bins[3]), metrics.Pct(r.Bins[4]))
+	}
+	return title + "\n" + t.String()
+}
+
+// ------------------------------------------------------------ Figures 5 & 6
+
+// CDFRow is one benchmark's reuse-distance CDF.
+type CDFRow struct {
+	Bench string
+	CDF   chars.DistanceCDF
+}
+
+// Fig5 computes the intra-TB reuse-distance CDF under concurrent execution
+// (TBs interleaved on their SMs).
+func Fig5(opt Options) ([]CDFRow, error) {
+	specs, err := opt.specs()
+	if err != nil {
+		return nil, err
+	}
+	cfg := BaselineConfig()
+	var rows []CDFRow
+	for _, s := range specs {
+		k, _ := s.Build(opt.Params)
+		slots := k.ConcurrentTBsPerSM(cfg)
+		rows = append(rows, CDFRow{s.Name,
+			chars.InterleavedReuseDistance(k, opt.Params.PageShift, cfg.NumSMs, slots)})
+	}
+	return rows, nil
+}
+
+// Fig6 computes the intra-TB reuse-distance CDF running one TB at a time.
+func Fig6(opt Options) ([]CDFRow, error) {
+	specs, err := opt.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []CDFRow
+	for _, s := range specs {
+		k, _ := s.Build(opt.Params)
+		rows = append(rows, CDFRow{s.Name, chars.IsolatedReuseDistance(k, opt.Params.PageShift)})
+	}
+	return rows, nil
+}
+
+// RenderCDF formats a Figure 5/6-style table: CDF values at powers of two,
+// with the 2^6 column marking the 64-entry L1 TLB capacity.
+func RenderCDF(title string, rows []CDFRow) string {
+	t := metrics.NewTable("Benchmark", "<=2^3", "<=2^4", "<=2^5", "<=2^6 (L1 capacity)", "<=2^8", "<=2^10", "reuses")
+	for _, r := range rows {
+		t.AddRow(r.Bench,
+			metrics.Pct(r.CDF.FractionWithin(3)), metrics.Pct(r.CDF.FractionWithin(4)),
+			metrics.Pct(r.CDF.FractionWithin(5)), metrics.Pct(r.CDF.FractionWithin(6)),
+			metrics.Pct(r.CDF.FractionWithin(8)), metrics.Pct(r.CDF.FractionWithin(10)),
+			fmt.Sprint(r.CDF.Reuses))
+	}
+	return title + "\n" + t.String()
+}
+
+// --------------------------------------------------------- Figures 10 & 11
+
+// EvalRow holds one benchmark's results under the four evaluation
+// configurations.
+type EvalRow struct {
+	Bench string
+	// Hit rates (Figure 10).
+	HitBase, HitSched, HitPart, HitShare float64
+	// Execution cycles (Figure 11 normalizes to CyclesBase).
+	CyclesBase, CyclesSched, CyclesPart, CyclesShare int64
+}
+
+// NormSched returns sched time normalized to baseline.
+func (r EvalRow) NormSched() float64 { return float64(r.CyclesSched) / float64(r.CyclesBase) }
+
+// NormPart returns sched+partitioning time normalized to baseline.
+func (r EvalRow) NormPart() float64 { return float64(r.CyclesPart) / float64(r.CyclesBase) }
+
+// NormShare returns the full proposal's time normalized to baseline.
+func (r EvalRow) NormShare() float64 { return float64(r.CyclesShare) / float64(r.CyclesBase) }
+
+// Eval runs the four configurations of Figures 10 and 11.
+func Eval(opt Options) ([]EvalRow, error) {
+	specs, err := opt.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []EvalRow
+	for _, s := range specs {
+		row := EvalRow{Bench: s.Name}
+		for _, c := range []struct {
+			cfg    arch.Config
+			hit    *float64
+			cycles *int64
+		}{
+			{BaselineConfig(), &row.HitBase, &row.CyclesBase},
+			{SchedConfig(), &row.HitSched, &row.CyclesSched},
+			{PartConfig(), &row.HitPart, &row.CyclesPart},
+			{ShareConfig(), &row.HitShare, &row.CyclesShare},
+		} {
+			r, err := run(s, opt.Params, c.cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", s.Name, err)
+			}
+			*c.hit = r.L1TLBHitRate
+			*c.cycles = int64(r.Cycles)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig10 formats the hit-rate figure.
+func RenderFig10(rows []EvalRow) string {
+	t := metrics.NewTable("Benchmark", "Baseline", "Sched", "Sched+Part", "Sched+Part+Share")
+	for _, r := range rows {
+		t.AddRow(r.Bench, metrics.Pct(r.HitBase), metrics.Pct(r.HitSched),
+			metrics.Pct(r.HitPart), metrics.Pct(r.HitShare))
+	}
+	return "Figure 10 — L1 TLB hit rates (higher is better)\n" + t.String()
+}
+
+// RenderFig11 formats the normalized-execution-time figure, with the
+// geomean row the paper quotes (sched -2.3%, part +14.3%, share -12.5%).
+func RenderFig11(rows []EvalRow) string {
+	t := metrics.NewTable("Benchmark", "Baseline", "Sched", "Sched+Part", "Sched+Part+Share")
+	var sched, part, share []float64
+	for _, r := range rows {
+		sched = append(sched, r.NormSched())
+		part = append(part, r.NormPart())
+		share = append(share, r.NormShare())
+		t.AddRow(r.Bench, "1.000",
+			fmt.Sprintf("%.3f", r.NormSched()),
+			fmt.Sprintf("%.3f", r.NormPart()),
+			fmt.Sprintf("%.3f", r.NormShare()))
+	}
+	t.AddRow("geomean", "1.000",
+		fmt.Sprintf("%.3f", metrics.Geomean(sched)),
+		fmt.Sprintf("%.3f", metrics.Geomean(part)),
+		fmt.Sprintf("%.3f", metrics.Geomean(share)))
+	return "Figure 11 — execution time normalized to baseline (lower is better)\n" + t.String()
+}
+
+// ----------------------------------------------------------------- Figure 12
+
+// Fig12Row compares TLB compression alone against our approach combined
+// with compression, both normalized to compression alone.
+type Fig12Row struct {
+	Bench string
+	// Speedup of (ours + compression) over (compression only): > 1 means
+	// our approach adds improvement on top of compression.
+	Speedup float64
+	// Hit rates for context.
+	HitCompress, HitOursCompress float64
+}
+
+// Fig12 runs the comparison against the PACT'20 compression comparator.
+func Fig12(opt Options) ([]Fig12Row, error) {
+	specs, err := opt.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig12Row
+	for _, s := range specs {
+		comp := BaselineConfig()
+		comp.TLBCompression = true
+		base, err := run(s, opt.Params, comp)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		ours := ShareConfig()
+		ours.TLBCompression = true
+		combined, err := run(s, opt.Params, ours)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		rows = append(rows, Fig12Row{
+			Bench:           s.Name,
+			Speedup:         float64(base.Cycles) / float64(combined.Cycles),
+			HitCompress:     base.L1TLBHitRate,
+			HitOursCompress: combined.L1TLBHitRate,
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig12 formats the compression comparison.
+func RenderFig12(rows []Fig12Row) string {
+	t := metrics.NewTable("Benchmark", "Speedup (ours+comp / comp)", "Hit comp", "Hit ours+comp")
+	var sp []float64
+	for _, r := range rows {
+		sp = append(sp, r.Speedup)
+		t.AddRow(r.Bench, fmt.Sprintf("%.3f", r.Speedup),
+			metrics.Pct(r.HitCompress), metrics.Pct(r.HitOursCompress))
+	}
+	t.AddRow("geomean", fmt.Sprintf("%.3f", metrics.Geomean(sp)))
+	return "Figure 12 — our approach on top of TLB compression, normalized to compression alone\n" + t.String()
+}
+
+// ------------------------------------------------------- Huge-page study (§V)
+
+// HugePageRow holds the 2MB-page study results.
+type HugePageRow struct {
+	Bench string
+	// Baseline hit rates at the two page sizes.
+	Hit4K, Hit2M float64
+	// Speedup of the full proposal over baseline, both with 2MB pages.
+	SpeedupOurs2M float64
+}
+
+// HugePages runs the paper's large-page study: 2MB pages raise hit rates by
+// themselves; our approach still adds a (smaller) improvement on top.
+func HugePages(opt Options) ([]HugePageRow, error) {
+	specs, err := opt.specs()
+	if err != nil {
+		return nil, err
+	}
+	p2m := opt.Params
+	p2m.PageShift = 21
+	var rows []HugePageRow
+	for _, s := range specs {
+		r4, err := run(s, opt.Params, BaselineConfig())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		cfg2m := BaselineConfig()
+		cfg2m.PageSize = arch.PageSize2M
+		r2, err := run(s, p2m, cfg2m)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		ours2m := ShareConfig()
+		ours2m.PageSize = arch.PageSize2M
+		ro, err := run(s, p2m, ours2m)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		rows = append(rows, HugePageRow{
+			Bench:         s.Name,
+			Hit4K:         r4.L1TLBHitRate,
+			Hit2M:         r2.L1TLBHitRate,
+			SpeedupOurs2M: float64(r2.Cycles) / float64(ro.Cycles),
+		})
+	}
+	return rows, nil
+}
+
+// RenderHugePages formats the large-page study.
+func RenderHugePages(rows []HugePageRow) string {
+	t := metrics.NewTable("Benchmark", "Hit 4KB", "Hit 2MB", "Ours on 2MB (speedup)")
+	var sp []float64
+	for _, r := range rows {
+		sp = append(sp, r.SpeedupOurs2M)
+		t.AddRow(r.Bench, metrics.Pct(r.Hit4K), metrics.Pct(r.Hit2M), fmt.Sprintf("%.3f", r.SpeedupOurs2M))
+	}
+	t.AddRow("geomean", "", "", fmt.Sprintf("%.3f", metrics.Geomean(sp)))
+	return "Huge-page study (§V) — 2MB pages, baseline vs our approach on top\n" + t.String()
+}
+
+// ----------------------------------------------------------------- Ablations
+
+// AblationRow is a generic (benchmark, variant) -> normalized time result.
+type AblationRow struct {
+	Bench    string
+	Variant  string
+	NormTime float64
+	HitRate  float64
+}
+
+// AblationSharing compares the 1-bit sharing flag against counter
+// thresholds and all-to-all sharing (paper §IV-B discussion and future
+// work), normalized to the 1-bit adjacent design.
+func AblationSharing(opt Options, thresholds []int) ([]AblationRow, error) {
+	specs, err := opt.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, s := range specs {
+		ref, err := run(s, opt.Params, ShareConfig())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		for _, th := range thresholds {
+			cfg := ShareConfig()
+			cfg.ShareCounterThreshold = th
+			r, err := run(s, opt.Params, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", s.Name, err)
+			}
+			rows = append(rows, AblationRow{s.Name, fmt.Sprintf("counter>=%d", th),
+				float64(r.Cycles) / float64(ref.Cycles), r.L1TLBHitRate})
+		}
+		cfg := ShareConfig()
+		cfg.SharingMode = arch.ShareAllToAll
+		r, err := run(s, opt.Params, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		rows = append(rows, AblationRow{s.Name, "all-to-all",
+			float64(r.Cycles) / float64(ref.Cycles), r.L1TLBHitRate})
+	}
+	return rows, nil
+}
+
+// AblationThrottle combines the proposal with TB throttling (paper §IV-A
+// notes the approaches compose), normalized to the unthrottled proposal.
+func AblationThrottle(opt Options, caps []int) ([]AblationRow, error) {
+	specs, err := opt.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, s := range specs {
+		ref, err := run(s, opt.Params, ShareConfig())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		for _, cap := range caps {
+			cfg := ShareConfig()
+			cfg.ThrottleTBsPerSM = cap
+			r, err := run(s, opt.Params, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", s.Name, err)
+			}
+			rows = append(rows, AblationRow{s.Name, fmt.Sprintf("throttle=%d", cap),
+				float64(r.Cycles) / float64(ref.Cycles), r.L1TLBHitRate})
+		}
+	}
+	return rows, nil
+}
+
+// RenderAblation formats an ablation table.
+func RenderAblation(title string, rows []AblationRow) string {
+	t := metrics.NewTable("Benchmark", "Variant", "Time vs reference", "Hit rate")
+	for _, r := range rows {
+		t.AddRow(r.Bench, r.Variant, fmt.Sprintf("%.3f", r.NormTime), metrics.Pct(r.HitRate))
+	}
+	return title + "\n" + t.String()
+}
+
+// WarpReuse computes warp-granularity intra-reuse bins (the paper's stated
+// future work: translation reuse at warp granularity).
+func WarpReuse(opt Options) ([]BinsRow, error) {
+	specs, err := opt.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []BinsRow
+	for _, s := range specs {
+		k, _ := s.Build(opt.Params)
+		rows = append(rows, BinsRow{s.Name, chars.IntraWarp(k, opt.Params.PageShift)})
+	}
+	return rows, nil
+}
+
+// Table3 renders the baseline configuration.
+func Table3() string {
+	return "Table III — baseline configuration\n" + arch.Default().String() + "\n"
+}
+
+// AblationWarpSched compares warp scheduling policies under the full
+// proposal (the paper's conclusion proposes translation reuse-aware warp
+// scheduling as future work), normalized to GTO.
+func AblationWarpSched(opt Options) ([]AblationRow, error) {
+	specs, err := opt.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, s := range specs {
+		ref, err := run(s, opt.Params, ShareConfig())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		for _, pol := range []arch.WarpSchedulerPolicy{arch.WarpLRR, arch.WarpTransAware} {
+			cfg := ShareConfig()
+			cfg.WarpScheduler = pol
+			r, err := run(s, opt.Params, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", s.Name, err)
+			}
+			rows = append(rows, AblationRow{s.Name, pol.String(),
+				float64(r.Cycles) / float64(ref.Cycles), r.L1TLBHitRate})
+		}
+	}
+	return rows, nil
+}
+
+// AblationPWC measures a shared page-walk cache on top of the baseline and
+// the full proposal, normalized to the same configuration without a PWC.
+func AblationPWC(opt Options, entries int) ([]AblationRow, error) {
+	specs, err := opt.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, s := range specs {
+		for _, base := range []struct {
+			name string
+			cfg  arch.Config
+		}{{"baseline", BaselineConfig()}, {"proposal", ShareConfig()}} {
+			ref, err := run(s, opt.Params, base.cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", s.Name, err)
+			}
+			cfg := base.cfg
+			cfg.PWCEntries = entries
+			r, err := run(s, opt.Params, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", s.Name, err)
+			}
+			rows = append(rows, AblationRow{s.Name, base.name + "+pwc",
+				float64(r.Cycles) / float64(ref.Cycles), r.L1TLBHitRate})
+		}
+	}
+	return rows, nil
+}
+
+// AblationReplacement compares TLB replacement policies under the full
+// proposal, normalized to LRU.
+func AblationReplacement(opt Options) ([]AblationRow, error) {
+	specs, err := opt.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, s := range specs {
+		ref, err := run(s, opt.Params, ShareConfig())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		for _, pol := range []arch.TLBReplacementPolicy{arch.ReplaceFIFO, arch.ReplaceRandom} {
+			cfg := ShareConfig()
+			cfg.TLBReplacement = pol
+			r, err := run(s, opt.Params, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", s.Name, err)
+			}
+			rows = append(rows, AblationRow{s.Name, pol.String(),
+				float64(r.Cycles) / float64(ref.Cycles), r.L1TLBHitRate})
+		}
+	}
+	return rows, nil
+}
+
+// SMBalance quantifies the scheduler-facing imbalance of paper §IV-A: the
+// spread of per-SM L1 TLB hit rates under round-robin vs TLB-aware
+// scheduling.
+type SMBalanceRow struct {
+	Bench                 string
+	SpreadRR, SpreadAware float64 // max-min per-SM hit rate
+}
+
+// SMBalance runs both schedulers and reports the per-SM hit-rate spread.
+func SMBalance(opt Options) ([]SMBalanceRow, error) {
+	specs, err := opt.specs()
+	if err != nil {
+		return nil, err
+	}
+	spread := func(r sim.Result) float64 {
+		lo, hi := 1.0, 0.0
+		for _, st := range r.L1TLBPerSM {
+			if st.Accesses == 0 {
+				continue
+			}
+			h := st.HitRate()
+			if h < lo {
+				lo = h
+			}
+			if h > hi {
+				hi = h
+			}
+		}
+		if hi < lo {
+			return 0
+		}
+		return hi - lo
+	}
+	var rows []SMBalanceRow
+	for _, s := range specs {
+		rr, err := run(s, opt.Params, BaselineConfig())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		aw, err := run(s, opt.Params, SchedConfig())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		rows = append(rows, SMBalanceRow{s.Name, spread(rr), spread(aw)})
+	}
+	return rows, nil
+}
+
+// RenderSMBalance formats the per-SM balance study.
+func RenderSMBalance(rows []SMBalanceRow) string {
+	t := metrics.NewTable("Benchmark", "Per-SM hit spread (RR)", "Per-SM hit spread (TLB-aware)")
+	for _, r := range rows {
+		t.AddRow(r.Bench, metrics.Pct(r.SpreadRR), metrics.Pct(r.SpreadAware))
+	}
+	return "Scheduler balance (§IV-A motivation) — spread of per-SM L1 TLB hit rates\n" + t.String()
+}
+
+// SeedSweepRow holds one seed's Figure 11 geomeans; the sweep quantifies
+// how robust the headline results are to the synthetic-workload seed.
+type SeedSweepRow struct {
+	Seed                        int64
+	GeoSched, GeoPart, GeoShare float64
+}
+
+// SeedSweep reruns the Figure 10/11 evaluation for each seed.
+func SeedSweep(opt Options, seeds []int64) ([]SeedSweepRow, error) {
+	var rows []SeedSweepRow
+	for _, seed := range seeds {
+		o := opt
+		o.Params.Seed = seed
+		evals, err := Eval(o)
+		if err != nil {
+			return nil, err
+		}
+		var sched, part, share []float64
+		for _, r := range evals {
+			sched = append(sched, r.NormSched())
+			part = append(part, r.NormPart())
+			share = append(share, r.NormShare())
+		}
+		rows = append(rows, SeedSweepRow{
+			Seed:     seed,
+			GeoSched: metrics.Geomean(sched),
+			GeoPart:  metrics.Geomean(part),
+			GeoShare: metrics.Geomean(share),
+		})
+	}
+	return rows, nil
+}
+
+// RenderSeedSweep formats the robustness sweep.
+func RenderSeedSweep(rows []SeedSweepRow) string {
+	t := metrics.NewTable("Seed", "Geomean sched", "Geomean sched+part", "Geomean sched+part+share")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprint(r.Seed),
+			fmt.Sprintf("%.3f", r.GeoSched),
+			fmt.Sprintf("%.3f", r.GeoPart),
+			fmt.Sprintf("%.3f", r.GeoShare))
+	}
+	return "Seed robustness — Figure 11 geomeans across workload seeds\n" + t.String()
+}

@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadDIMACSSimple(t *testing.T) {
+	// Triangle plus a pendant: 4 nodes, 4 undirected edges.
+	in := `% a comment
+4 4
+2 3
+1 3 4
+1 2
+2
+`
+	g, err := ReadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes != 4 || g.NumEdges() != 8 {
+		t.Fatalf("parsed %d nodes %d directed edges, want 4/8", g.NumNodes, g.NumEdges())
+	}
+	if g.Degree(1) != 3 {
+		t.Errorf("node 1 degree = %d, want 3", g.Degree(1))
+	}
+	if got := g.Neighbors(3); len(got) != 1 || got[0] != 1 {
+		t.Errorf("node 3 neighbours = %v, want [1]", got)
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"only-comments":    "% hi\n% there\n",
+		"bad-header":       "x\n",
+		"weighted":         "2 1 11\n2\n1\n",
+		"neighbour-range":  "2 1\n3\n1\n",
+		"missing-lines":    "3 2\n2\n",
+		"edge-count-wrong": "2 5\n2\n1\n",
+		"non-numeric":      "2 1\nfoo\n1\n",
+		"zero-nodes":       "0 0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// Property: WriteDIMACS/ReadDIMACS round-trips generated graphs exactly.
+func TestDIMACSRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw)%200
+		g := Generate(n, 3, seed)
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, g); err != nil {
+			return false
+		}
+		got, err := ReadDIMACS(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumNodes != g.NumNodes || len(got.ColIdx) != len(g.ColIdx) {
+			return false
+		}
+		for i := range g.RowPtr {
+			if g.RowPtr[i] != got.RowPtr[i] {
+				return false
+			}
+		}
+		for i := range g.ColIdx {
+			if g.ColIdx[i] != got.ColIdx[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

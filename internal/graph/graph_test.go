@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateValidCSR(t *testing.T) {
+	g := Generate(1000, 4, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumNodes != 1000 {
+		t.Errorf("NumNodes = %d", g.NumNodes)
+	}
+	// Each added node contributes up to edgesPerNode undirected edges.
+	if g.NumEdges() < 2*1000 || g.NumEdges() > 2*4*1000 {
+		t.Errorf("NumEdges = %d, outside plausible range", g.NumEdges())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(500, 3, 42)
+	b := Generate(500, 3, 42)
+	if len(a.ColIdx) != len(b.ColIdx) {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for i := range a.ColIdx {
+		if a.ColIdx[i] != b.ColIdx[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	c := Generate(500, 3, 43)
+	same := len(a.ColIdx) == len(c.ColIdx)
+	if same {
+		for i := range a.ColIdx {
+			if a.ColIdx[i] != c.ColIdx[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	g := Generate(300, 3, 7)
+	// Build reverse adjacency and confirm every edge exists both ways.
+	type edge struct{ u, v int32 }
+	fwd := make(map[edge]int)
+	for v := 0; v < g.NumNodes; v++ {
+		for _, u := range g.Neighbors(v) {
+			fwd[edge{int32(v), u}]++
+		}
+	}
+	for e, n := range fwd {
+		if fwd[edge{e.v, e.u}] != n {
+			t.Fatalf("edge (%d,%d) multiplicity %d but reverse %d", e.u, e.v, n, fwd[edge{e.v, e.u}])
+		}
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	g := Generate(5000, 4, 1)
+	avg := float64(g.NumEdges()) / float64(g.NumNodes)
+	if got := g.MaxDegree(); float64(got) < 8*avg {
+		t.Errorf("MaxDegree = %d, avg = %.1f; degree distribution not heavy-tailed", got, avg)
+	}
+}
+
+func TestDegreeSumEqualsEdges(t *testing.T) {
+	g := Generate(800, 5, 3)
+	sum := 0
+	for v := 0; v < g.NumNodes; v++ {
+		sum += g.Degree(v)
+	}
+	if sum != g.NumEdges() {
+		t.Errorf("degree sum %d != edge count %d", sum, g.NumEdges())
+	}
+}
+
+func TestBFSLevels(t *testing.T) {
+	g := Generate(1000, 4, 9)
+	levels := g.BFSLevels(0)
+	if levels[0] != 0 {
+		t.Errorf("source level = %d", levels[0])
+	}
+	// Preferential attachment grows a connected graph: all reachable.
+	for v, l := range levels {
+		if l < 0 {
+			t.Fatalf("node %d unreachable; generator must grow a connected graph", v)
+		}
+	}
+	// Levels differ by at most 1 across any edge.
+	for v := 0; v < g.NumNodes; v++ {
+		for _, u := range g.Neighbors(v) {
+			d := levels[v] - levels[u]
+			if d < -1 || d > 1 {
+				t.Fatalf("edge (%d,%d) spans levels %d and %d", v, u, levels[v], levels[u])
+			}
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	good := Generate(100, 2, 1)
+	cases := map[string]func(*CSR){
+		"rowptr-len":   func(g *CSR) { g.RowPtr = g.RowPtr[:len(g.RowPtr)-1] },
+		"rowptr-start": func(g *CSR) { g.RowPtr[0] = 1 },
+		"rowptr-mono":  func(g *CSR) { g.RowPtr[5] = g.RowPtr[4] - 1 },
+		"rowptr-end":   func(g *CSR) { g.RowPtr[g.NumNodes]++ },
+		"colidx-range": func(g *CSR) { g.ColIdx[0] = int32(g.NumNodes) },
+	}
+	for name, corrupt := range cases {
+		t.Run(name, func(t *testing.T) {
+			g := &CSR{NumNodes: good.NumNodes}
+			g.RowPtr = append([]int32(nil), good.RowPtr...)
+			g.ColIdx = append([]int32(nil), good.ColIdx...)
+			corrupt(g)
+			if err := g.Validate(); err == nil {
+				t.Error("Validate accepted corrupted CSR")
+			}
+		})
+	}
+}
+
+// Property: any generated graph has no self loops and validates.
+func TestGenerateProperty(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := 2 + int(nRaw)%400
+		m := 1 + int(mRaw)%6
+		g := Generate(n, m, seed)
+		if g.Validate() != nil {
+			return false
+		}
+		for v := 0; v < g.NumNodes; v++ {
+			for _, u := range g.Neighbors(v) {
+				if int(u) == v {
+					return false // self loop
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Geomean(2,8) = %v, want 4", got)
+	}
+	if got := Geomean([]float64{1, 1, 1}); got != 1 {
+		t.Errorf("Geomean(1,1,1) = %v", got)
+	}
+	if got := Geomean(nil); got != 0 {
+		t.Errorf("Geomean(nil) = %v, want 0", got)
+	}
+}
+
+func TestGeomeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Geomean accepted 0")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.125); got != " 12.5%" {
+		t.Errorf("Pct(0.125) = %q", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("bench", "hit", "time")
+	tb.AddRow("bfs", "0.60", "1.00")
+	tb.AddRow("gemm", "0.91") // short row padded
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), s)
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("separator width mismatch:\n%s", s)
+	}
+	if !strings.Contains(lines[2], "bfs") || !strings.Contains(lines[3], "gemm") {
+		t.Errorf("rows missing:\n%s", s)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 10); got != "#####....." {
+		t.Errorf("Bar(0.5,10) = %q", got)
+	}
+	if got := Bar(-1, 4); got != "...." {
+		t.Errorf("Bar(-1) = %q", got)
+	}
+	if got := Bar(2, 4); got != "####" {
+		t.Errorf("Bar(2) = %q", got)
+	}
+}
+
+// Property: geomean lies between min and max, and is scale-equivariant.
+func TestGeomeanProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		min, max := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r)/100 + 0.01
+			if xs[i] < min {
+				min = xs[i]
+			}
+			if xs[i] > max {
+				max = xs[i]
+			}
+		}
+		g := Geomean(xs)
+		if g < min-1e-9 || g > max+1e-9 {
+			return false
+		}
+		scaled := make([]float64, len(xs))
+		for i := range xs {
+			scaled[i] = xs[i] * 3
+		}
+		return math.Abs(Geomean(scaled)-3*g) < 1e-9*(1+3*g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package noc models the on-chip interconnection network between SMs and
+// memory partitions (the crossbar of the paper's Figure 1). Each SM has an
+// injection port and each partition an ejection port with a bounded number
+// of request slots per time window; requests beyond a window's capacity
+// spill into later windows. The window model is insensitive to the order
+// in which the simulator discovers requests (issue order is not timestamp
+// order), which keeps it deterministic under the sim's
+// latency-composition style.
+package noc
+
+import "gputlb/internal/engine"
+
+// windowBits sets the reservation window (2^6 = 64 cycles).
+const windowBits = 6
+
+// horizon is how many windows ahead a port tracks; requests beyond it are
+// uncontended (in-flight latencies are far shorter than the horizon).
+const horizon = 256
+
+// port is one direction of one endpoint: a ring of per-window slot counts.
+type port struct {
+	counts [horizon]uint16
+	base   int64 // window index of counts[0]
+}
+
+// reserve books one slot at or after cycle `at` and returns the granted
+// start cycle. capacity is the number of slots per window.
+func (p *port) reserve(at engine.Cycle, capacity uint16) engine.Cycle {
+	w := int64(at) >> windowBits
+	if w < p.base {
+		// A window that has already slid out of the ring: grant without
+		// accounting (rare, bounded distortion).
+		return at
+	}
+	if w >= p.base+horizon {
+		shift := w - (p.base + horizon) + 1
+		if shift >= horizon {
+			// A far-future outlier: grant without accounting rather than
+			// dragging the ring (and every near-term request) forward.
+			return at
+		}
+		copy(p.counts[:], p.counts[shift:])
+		for i := horizon - int(shift); i < horizon; i++ {
+			p.counts[i] = 0
+		}
+		p.base += shift
+	}
+	for {
+		idx := w - p.base
+		if idx >= horizon {
+			// Ran off the tracked horizon: grant without accounting.
+			break
+		}
+		if p.counts[idx] < capacity {
+			p.counts[idx]++
+			break
+		}
+		w++
+	}
+	start := engine.Cycle(w << windowBits)
+	if at > start {
+		start = at
+	}
+	return start
+}
+
+// Crossbar is an N-SM x M-partition interconnect. The zero value is not
+// usable; call New.
+type Crossbar struct {
+	in       []port
+	out      []port
+	latency  engine.Cycle
+	capacity uint16 // slots per 64-cycle window per port
+	packets  int64
+	stalls   int64
+}
+
+// New builds a crossbar with the given traversal latency and per-request
+// port service time in cycles (a service of s cycles means 64/s requests
+// per port per 64-cycle window).
+func New(numSMs, numPartitions int, latency, service int) *Crossbar {
+	if numSMs < 1 || numPartitions < 1 {
+		panic("noc: need at least one port on each side")
+	}
+	if service < 1 {
+		service = 1
+	}
+	cap := (1 << windowBits) / service
+	if cap < 1 {
+		cap = 1
+	}
+	return &Crossbar{
+		in:       make([]port, numSMs),
+		out:      make([]port, numPartitions),
+		latency:  engine.Cycle(latency),
+		capacity: uint16(cap),
+	}
+}
+
+// Traverse sends one request from SM sm to partition part at cycle at and
+// returns its arrival time.
+func (x *Crossbar) Traverse(sm, part int, at engine.Cycle) engine.Cycle {
+	x.packets++
+	start := x.in[sm].reserve(at, x.capacity)
+	arrive := x.out[part].reserve(start+x.latency, x.capacity)
+	if arrive > at+x.latency {
+		x.stalls++
+	}
+	return arrive
+}
+
+// Return sends a reply from partition part back to SM sm.
+func (x *Crossbar) Return(part, sm int, at engine.Cycle) engine.Cycle {
+	x.packets++
+	start := x.out[part].reserve(at, x.capacity)
+	arrive := x.in[sm].reserve(start+x.latency, x.capacity)
+	if arrive > at+x.latency {
+		x.stalls++
+	}
+	return arrive
+}
+
+// Packets returns the number of traversals.
+func (x *Crossbar) Packets() int64 { return x.packets }
+
+// Stalls returns the number of requests delayed past the bare latency (a
+// congestion indicator).
+func (x *Crossbar) Stalls() int64 { return x.stalls }
+
+// Meter is an order-insensitive capacity meter for a resource that serves
+// a bounded number of busy-cycles per time window (a DRAM bank, a walker
+// pool). Reserve books `cost` busy-cycles at or after `at`, spreading the
+// cost over consecutive windows, and returns the granted start cycle.
+type Meter struct {
+	p port
+}
+
+// Reserve books cost busy-cycles starting at or after at.
+func (m *Meter) Reserve(at engine.Cycle, cost int) engine.Cycle {
+	const budget = 1 << windowBits
+	w := int64(at) >> windowBits
+	if w < m.p.base {
+		return at
+	}
+	if w >= m.p.base+horizon {
+		shift := w - (m.p.base + horizon) + 1
+		if shift >= horizon {
+			return at
+		}
+		copy(m.p.counts[:], m.p.counts[shift:])
+		for i := horizon - int(shift); i < horizon; i++ {
+			m.p.counts[i] = 0
+		}
+		m.p.base += shift
+	}
+	// Find the first window with slack.
+	for w-m.p.base < horizon && m.p.counts[w-m.p.base] >= budget {
+		w++
+	}
+	start := engine.Cycle(w << windowBits)
+	if at > start {
+		start = at
+	}
+	// Spread the cost over consecutive windows.
+	for c := cost; c > 0 && w-m.p.base < horizon; {
+		idx := w - m.p.base
+		free := budget - int(m.p.counts[idx])
+		if free > c {
+			free = c
+		}
+		m.p.counts[idx] += uint16(free)
+		c -= free
+		w++
+	}
+	return start
+}

@@ -1,0 +1,149 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gputlb/internal/engine"
+)
+
+func TestTraverseLatencyUncontended(t *testing.T) {
+	x := New(2, 2, 20, 1)
+	if got := x.Traverse(0, 1, 100); got != 120 {
+		t.Errorf("uncontended traverse = %d, want 120", got)
+	}
+	if x.Stalls() != 0 {
+		t.Errorf("stalls = %d on an idle network", x.Stalls())
+	}
+}
+
+func TestWindowCapacitySpills(t *testing.T) {
+	// service 1 -> 64 slots per 64-cycle window; the 65th same-cycle
+	// request must spill into the next window.
+	x := New(1, 4, 10, 1)
+	spilled := false
+	for i := 0; i < 65; i++ {
+		if got := x.Traverse(0, i%4, 0); got >= 64 {
+			spilled = true
+		}
+	}
+	if !spilled {
+		t.Error("65 same-window requests never spilled past the window")
+	}
+	if x.Stalls() == 0 {
+		t.Error("no stalls recorded under overload")
+	}
+}
+
+func TestOrderInsensitive(t *testing.T) {
+	// A far-future request must not delay an earlier one (the failure mode
+	// of busy-until port models under out-of-order discovery).
+	x := New(1, 1, 10, 1)
+	x.Traverse(0, 0, 100000)
+	early := x.Traverse(0, 0, 50)
+	if early != 60 {
+		t.Errorf("early request arrived at %d, want 60 (undisturbed)", early)
+	}
+}
+
+func TestReturnPath(t *testing.T) {
+	x := New(2, 2, 10, 1)
+	arrive := x.Traverse(0, 1, 0)
+	back := x.Return(1, 0, arrive)
+	if back < arrive+10 {
+		t.Errorf("reply at %d, want >= %d", back, arrive+10)
+	}
+	if x.Packets() != 2 {
+		t.Errorf("Packets = %d, want 2", x.Packets())
+	}
+}
+
+func TestFarFutureRequests(t *testing.T) {
+	x := New(1, 1, 10, 1)
+	// Jump far beyond the horizon repeatedly; must not panic and must
+	// respect the base latency.
+	for _, at := range []engine.Cycle{0, 1 << 20, 1 << 30, 100, 1 << 31} {
+		if got := x.Traverse(0, 0, at); got < at+10 {
+			t.Errorf("at=%d arrived %d, below latency bound", at, got)
+		}
+	}
+}
+
+// Property: arrival is never before at+latency.
+func TestTraverseProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		x := New(2, 2, 15, 2) // capacity 32/window
+		for _, r := range raw {
+			at := engine.Cycle(r % 2048)
+			if got := x.Traverse(0, 1, at); got < at+15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeterUncontended(t *testing.T) {
+	var m Meter
+	if got := m.Reserve(100, 10); got != 100 {
+		t.Errorf("uncontended Reserve = %d, want 100", got)
+	}
+}
+
+func TestMeterSaturationSpills(t *testing.T) {
+	var m Meter
+	// A window holds 64 busy-cycles; the second 64-cycle job must start in
+	// a later window.
+	a := m.Reserve(0, 64)
+	b := m.Reserve(0, 64)
+	if a != 0 {
+		t.Errorf("first job started at %d, want 0", a)
+	}
+	if b < 64 {
+		t.Errorf("second job started at %d, want >= 64 (window full)", b)
+	}
+}
+
+func TestMeterSpreadsLargeCosts(t *testing.T) {
+	var m Meter
+	m.Reserve(0, 500) // fills ~8 windows
+	got := m.Reserve(0, 64)
+	if got < 448 {
+		t.Errorf("job behind a 500-cycle reservation started at %d, want >= 448", got)
+	}
+}
+
+func TestMeterOrderInsensitive(t *testing.T) {
+	var m Meter
+	m.Reserve(1<<30, 64) // far future: must not disturb the present
+	if got := m.Reserve(0, 10); got != 0 {
+		t.Errorf("early job started at %d after a far-future reservation, want 0", got)
+	}
+}
+
+// Property: Reserve never starts before `at` and a saturating stream makes
+// forward progress (start times unbounded below a linear envelope).
+func TestMeterProperty(t *testing.T) {
+	f := func(costs []uint8) bool {
+		var m Meter
+		total := 0
+		var last engine.Cycle
+		for _, c := range costs {
+			cost := 1 + int(c)%100
+			got := m.Reserve(0, cost)
+			if got < 0 {
+				return false
+			}
+			total += cost
+			last = got
+		}
+		// The final start cannot be later than the total booked work.
+		return int(last) <= total+64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+// Package sched implements the thread-block schedulers: the baseline
+// round-robin dispatcher and the thrashing-aware scheduler of paper
+// Section IV-A, which consults a hardware table of per-SM
+// <TLBhits, TLBtotal> counters and steers new TBs toward SMs with low
+// instantaneous L1 TLB miss rates, falling back to round-robin when no
+// low-miss-rate SM has capacity.
+package sched
+
+import "gputlb/internal/arch"
+
+// SMStatus is one entry of the scheduler's view: free TB slots plus the
+// <hits, total> pair the SM publishes to the scheduler's 16-entry table.
+type SMStatus struct {
+	FreeSlots int
+	TLBHits   int64
+	TLBTotal  int64
+}
+
+// missRate returns the SM's instantaneous L1 TLB miss rate.
+func (s SMStatus) missRate() float64 {
+	if s.TLBTotal == 0 {
+		return 0
+	}
+	return 1 - float64(s.TLBHits)/float64(s.TLBTotal)
+}
+
+// Policy picks the SM that receives the next TB. Pick returns the SM index,
+// or -1 when no SM has a free slot. cursor is the round-robin position after
+// the previous dispatch (the policy owns advancing it).
+type Policy interface {
+	Name() string
+	Pick(sms []SMStatus, cursor int) (sm int, nextCursor int)
+}
+
+// NewPolicy constructs the policy for a configuration.
+func NewPolicy(p arch.TBSchedulerPolicy) Policy {
+	if p == arch.ScheduleTLBAware {
+		return &TLBAware{}
+	}
+	return RoundRobin{}
+}
+
+// RoundRobin is the baseline GPU TB scheduler: SMs are visited cyclically
+// and a TB lands on the first one with a free slot.
+type RoundRobin struct{}
+
+// Name implements Policy.
+func (RoundRobin) Name() string { return arch.ScheduleRoundRobin.String() }
+
+// Pick implements Policy.
+func (RoundRobin) Pick(sms []SMStatus, cursor int) (int, int) {
+	n := len(sms)
+	for i := 0; i < n; i++ {
+		sm := (cursor + i) % n
+		if sms[sm].FreeSlots > 0 {
+			return sm, (sm + 1) % n
+		}
+	}
+	return -1, cursor
+}
+
+// warmup is the minimum number of TLB accesses before an SM's miss rate is
+// considered meaningful; cold SMs are always eligible.
+const warmup = 64
+
+// TLBAware is the thrashing-aware scheduler: among SMs with capacity it
+// prefers, in round-robin order, the first whose miss rate is not above the
+// mean across SMs; if every SM with capacity is thrashing worse than
+// average, it falls back to plain round-robin. It never throttles: a TB is
+// always placed if any SM has a free slot.
+type TLBAware struct{}
+
+// Name implements Policy.
+func (*TLBAware) Name() string { return arch.ScheduleTLBAware.String() }
+
+// Pick implements Policy.
+func (*TLBAware) Pick(sms []SMStatus, cursor int) (int, int) {
+	n := len(sms)
+	var sum float64
+	samples := 0
+	for _, s := range sms {
+		if s.TLBTotal >= warmup {
+			sum += s.missRate()
+			samples++
+		}
+	}
+	if samples > 0 {
+		// An SM is skipped only when it misses clearly more than average —
+		// the margin keeps uniform workloads on the round-robin path
+		// instead of chasing measurement noise.
+		const margin = 0.05
+		threshold := sum/float64(samples) + margin
+		for i := 0; i < n; i++ {
+			sm := (cursor + i) % n
+			s := sms[sm]
+			if s.FreeSlots == 0 {
+				continue
+			}
+			if s.TLBTotal < warmup || s.missRate() <= threshold {
+				return sm, (sm + 1) % n
+			}
+		}
+	}
+	return RoundRobin{}.Pick(sms, cursor)
+}

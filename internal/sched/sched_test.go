@@ -1,0 +1,185 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gputlb/internal/arch"
+)
+
+func TestNewPolicy(t *testing.T) {
+	if NewPolicy(arch.ScheduleRoundRobin).Name() != "round-robin" {
+		t.Error("wrong policy for round-robin")
+	}
+	if NewPolicy(arch.ScheduleTLBAware).Name() != "tlb-aware" {
+		t.Error("wrong policy for tlb-aware")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	sms := []SMStatus{{FreeSlots: 1}, {FreeSlots: 1}, {FreeSlots: 1}}
+	var p RoundRobin
+	cursor := 0
+	var picks []int
+	for i := 0; i < 6; i++ {
+		var sm int
+		sm, cursor = p.Pick(sms, cursor)
+		picks = append(picks, sm)
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if picks[i] != want[i] {
+			t.Fatalf("picks = %v, want %v", picks, want)
+		}
+	}
+}
+
+func TestRoundRobinSkipsFullSMs(t *testing.T) {
+	sms := []SMStatus{{FreeSlots: 0}, {FreeSlots: 0}, {FreeSlots: 2}}
+	sm, next := RoundRobin{}.Pick(sms, 0)
+	if sm != 2 {
+		t.Errorf("picked %d, want 2 (only SM with capacity)", sm)
+	}
+	if next != 0 {
+		t.Errorf("cursor = %d, want 0", next)
+	}
+}
+
+func TestRoundRobinAllFull(t *testing.T) {
+	sms := []SMStatus{{FreeSlots: 0}, {FreeSlots: 0}}
+	sm, _ := RoundRobin{}.Pick(sms, 1)
+	if sm != -1 {
+		t.Errorf("picked %d with no capacity anywhere, want -1", sm)
+	}
+}
+
+func TestTLBAwareAvoidsThrashingSM(t *testing.T) {
+	// SM 0 thrashing (90% miss), SM 1 healthy (10% miss). Cursor at 0: the
+	// aware policy must skip SM 0 even though round-robin would take it.
+	sms := []SMStatus{
+		{FreeSlots: 1, TLBHits: 10, TLBTotal: 100},
+		{FreeSlots: 1, TLBHits: 90, TLBTotal: 100},
+	}
+	sm, _ := (&TLBAware{}).Pick(sms, 0)
+	if sm != 1 {
+		t.Errorf("picked %d, want 1 (low miss rate)", sm)
+	}
+	if rr, _ := (RoundRobin{}).Pick(sms, 0); rr != 0 {
+		t.Errorf("baseline sanity: round-robin picked %d, want 0", rr)
+	}
+}
+
+func TestTLBAwareFallsBackWhenLowMissSMsFull(t *testing.T) {
+	// The only SM with capacity has an above-average miss rate: the policy
+	// must still place the TB there (never throttle).
+	sms := []SMStatus{
+		{FreeSlots: 0, TLBHits: 95, TLBTotal: 100},
+		{FreeSlots: 1, TLBHits: 5, TLBTotal: 100},
+	}
+	sm, _ := (&TLBAware{}).Pick(sms, 0)
+	if sm != 1 {
+		t.Errorf("picked %d, want 1 (fallback must not throttle)", sm)
+	}
+}
+
+func TestTLBAwareColdSMsEligible(t *testing.T) {
+	// An SM below the warmup sample count is always eligible.
+	sms := []SMStatus{
+		{FreeSlots: 1, TLBHits: 1, TLBTotal: 10}, // cold
+		{FreeSlots: 1, TLBHits: 50, TLBTotal: 100},
+	}
+	sm, _ := (&TLBAware{}).Pick(sms, 0)
+	if sm != 0 {
+		t.Errorf("picked %d, want 0 (cold SM eligible)", sm)
+	}
+}
+
+func TestTLBAwareAllColdBehavesLikeRoundRobin(t *testing.T) {
+	sms := make([]SMStatus, 4)
+	for i := range sms {
+		sms[i].FreeSlots = 1
+	}
+	aware := &TLBAware{}
+	cursor := 0
+	for want := 0; want < 4; want++ {
+		var sm int
+		sm, cursor = aware.Pick(sms, cursor)
+		if sm != want {
+			t.Fatalf("cold-start pick = %d, want %d (round-robin order)", sm, want)
+		}
+	}
+}
+
+// Property: both policies return -1 iff no SM has capacity, and otherwise a
+// valid index of an SM with capacity.
+func TestPolicyValidityProperty(t *testing.T) {
+	policies := []Policy{RoundRobin{}, &TLBAware{}}
+	f := func(free []uint8, hits []uint8, cursorRaw uint8) bool {
+		if len(free) == 0 {
+			return true
+		}
+		if len(free) > 16 {
+			free = free[:16]
+		}
+		sms := make([]SMStatus, len(free))
+		anyFree := false
+		for i := range sms {
+			sms[i].FreeSlots = int(free[i]) % 3
+			if sms[i].FreeSlots > 0 {
+				anyFree = true
+			}
+			if i < len(hits) {
+				sms[i].TLBTotal = 100
+				sms[i].TLBHits = int64(hits[i]) % 101
+			}
+		}
+		cursor := int(cursorRaw) % len(sms)
+		for _, p := range policies {
+			sm, next := p.Pick(sms, cursor)
+			if anyFree {
+				if sm < 0 || sm >= len(sms) || sms[sm].FreeSlots == 0 {
+					return false
+				}
+				if next < 0 || next >= len(sms) {
+					return false
+				}
+			} else if sm != -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLBAwarePrefersLeastThrashingAmongSeveral(t *testing.T) {
+	// Three SMs with capacity at miss rates 80%, 40%, 60%; threshold is the
+	// mean (60%) plus margin. From cursor 0, SM 0 is skipped (80% > 65%)
+	// and SM 1 (40%) is taken.
+	sms := []SMStatus{
+		{FreeSlots: 1, TLBHits: 20, TLBTotal: 100},
+		{FreeSlots: 1, TLBHits: 60, TLBTotal: 100},
+		{FreeSlots: 1, TLBHits: 40, TLBTotal: 100},
+	}
+	sm, next := (&TLBAware{}).Pick(sms, 0)
+	if sm != 1 {
+		t.Errorf("picked SM %d, want 1", sm)
+	}
+	if next != 2 {
+		t.Errorf("cursor advanced to %d, want 2", next)
+	}
+}
+
+func TestTLBAwareMarginToleratesNoise(t *testing.T) {
+	// Near-identical miss rates: the first free SM in round-robin order
+	// must win (no noise-chasing).
+	sms := []SMStatus{
+		{FreeSlots: 1, TLBHits: 49, TLBTotal: 100},
+		{FreeSlots: 1, TLBHits: 52, TLBTotal: 100},
+	}
+	if sm, _ := (&TLBAware{}).Pick(sms, 0); sm != 0 {
+		t.Errorf("picked %d, want 0 (within the noise margin)", sm)
+	}
+}

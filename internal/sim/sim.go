@@ -1,0 +1,817 @@
+// Package sim is the cycle-level GPU timing simulator: SMs running warps
+// under a greedy-then-oldest dual-issue scheduler, a TB dispatcher
+// (round-robin or TLB-thrashing-aware), per-SM L1 TLBs and VIPT L1 caches,
+// a shared L2 TLB and L2 cache behind an interconnect, and a pool of shared
+// page-table walkers over a UVM address space with demand paging — the
+// translation datapath of the paper's Figure 1 with the capacities and
+// latencies of Table III.
+package sim
+
+import (
+	"fmt"
+
+	"gputlb/internal/arch"
+	"gputlb/internal/cache"
+	"gputlb/internal/dram"
+	"gputlb/internal/engine"
+	"gputlb/internal/noc"
+	"gputlb/internal/sched"
+	"gputlb/internal/tlb"
+	"gputlb/internal/trace"
+	"gputlb/internal/vm"
+)
+
+// Sample is one windowed statistics snapshot (Config.SampleInterval > 0).
+type Sample struct {
+	Cycle engine.Cycle
+	// L1HitRate is the hit rate over the window ending at Cycle.
+	L1HitRate float64
+	// Walks counts page-table walks in the window.
+	Walks int64
+}
+
+// Result aggregates one simulation run.
+type Result struct {
+	// Cycles is the end-to-end execution time (completion of the last warp).
+	Cycles engine.Cycle
+	// L1TLBHitRate is the mean of the per-SM L1 TLB hit rates over SMs that
+	// saw traffic — the paper's Figure 2/10 metric.
+	L1TLBHitRate float64
+	// L1TLBPerSM holds each SM's L1 TLB counters.
+	L1TLBPerSM []tlb.Stats
+	// L2TLB holds the shared L2 TLB counters.
+	L2TLB tlb.Stats
+	// Walks is the number of page-table walks; Faults the UVM first-touch
+	// faults among them; PWCHits the walks shortened by the page-walk
+	// cache (0 unless Config.PWCEntries > 0).
+	Walks   int64
+	Faults  int64
+	PWCHits int64
+	// L1Cache aggregates all SMs' data-cache counters; L2Cache the shared
+	// cache's.
+	L1Cache cache.Stats
+	L2Cache cache.Stats
+	// InstsIssued counts warp instructions; LineRequests coalesced line
+	// accesses; PageRequests coalesced translation requests.
+	InstsIssued  int64
+	LineRequests int64
+	PageRequests int64
+	// TBsPerSM records how many TBs each SM executed (scheduling balance).
+	TBsPerSM []int
+	// Samples holds the windowed time series when Config.SampleInterval > 0.
+	Samples []Sample
+	// TranslationLatency is a histogram of cycles from translation request
+	// to completion, in power-of-two buckets: bucket i counts latencies in
+	// (2^i, 2^(i+1)]; bucket 0 also covers latency <= 1. Hits land in the
+	// low buckets, L2 TLB hits around 2^6, walks around 2^9-2^10, UVM
+	// faults above.
+	TranslationLatency [16]int64
+	// NoCStalls counts interconnect port waits; DRAMRowHits and
+	// DRAMRowMisses describe the memory partitions' row-buffer behaviour.
+	NoCStalls     int64
+	DRAMRowHits   int64
+	DRAMRowMisses int64
+}
+
+// L1TLBHits and L1TLBAccesses sum the per-SM counters.
+func (r Result) L1TLBHits() int64 {
+	var n int64
+	for _, s := range r.L1TLBPerSM {
+		n += s.Hits
+	}
+	return n
+}
+
+// L1TLBAccesses sums per-SM accesses.
+func (r Result) L1TLBAccesses() int64 {
+	var n int64
+	for _, s := range r.L1TLBPerSM {
+		n += s.Accesses
+	}
+	return n
+}
+
+type inflight struct {
+	ppn  vm.PPN
+	done engine.Cycle
+}
+
+type warpState struct {
+	sm    *smState
+	slot  int
+	seq   int64 // dispatch order: GTO "oldest" priority
+	insts []trace.Inst
+	pc    int
+}
+
+type slotState struct {
+	active         bool
+	tbIndex        int
+	remainingWarps int
+}
+
+type smState struct {
+	id          int
+	l1tlb       *tlb.TLB
+	l1cache     *cache.Cache
+	slots       []slotState
+	ready       []*warpState // wakeable warps, unordered; GTO picks from here
+	last        *warpState   // greedy: last issued warp keeps priority
+	tickPending bool
+	nextIssueAt engine.Cycle
+	rrCursor    int64 // loose round-robin rotation point
+	inflight    map[vm.VPN]inflight
+	// missHandlers are the SM's translation-miss MSHRs: an L1 TLB miss
+	// occupies one until the translation returns, so miss floods back up
+	// into the SM instead of being hidden by warp parallelism.
+	missHandlers []engine.Cycle
+	// Decaying <hits,total> counters backing the scheduler's hardware table.
+	schedHits, schedTotal int64
+	tbsRun                int
+}
+
+// Simulator runs one kernel to completion under one configuration.
+type Simulator struct {
+	cfg    arch.Config
+	kernel *trace.Kernel
+	as     *vm.AddressSpace
+	policy sched.Policy
+
+	queue engine.Queue
+	clock engine.Cycle
+
+	sms        []*smState
+	l2tlb      *tlb.TLB
+	l2cache    *cache.Cache
+	xbar       *noc.Crossbar
+	mem        *dram.DRAM
+	l2Inflight map[vm.VPN]inflight
+	// walkerMeter models the shared walker pool's throughput (NumWalkers
+	// concurrent walks of WalkLatency cycles each); l2tlbMeters model the
+	// shared L2 TLB's banked lookup ports (the L2 TLB is distributed
+	// across memory partitions). Both are order-insensitive window meters:
+	// L1 miss floods queue up, which is what makes L1 thrashing expensive
+	// end to end.
+	walkerMeter noc.Meter
+	l2tlbMeters []noc.Meter
+
+	samples         []Sample
+	lastSampleHits  int64
+	lastSampleAcc   int64
+	lastSampleWalks int64
+
+	nextTB          int
+	cursor          int
+	tbsDone         int
+	lastDone        engine.Cycle
+	warpSeq         int64
+	dispatchPending bool
+
+	pwc                       *tlb.TLB
+	transLatency              [16]int64
+	walks, faults, pwcHits    int64
+	instsIssued, lineRequests int64
+	pageRequests              int64
+
+	lineShift uint
+	pageShift uint
+}
+
+// New builds a simulator. The kernel and address space must come from the
+// same workload build; cfg must be valid.
+func New(cfg arch.Config, kernel *trace.Kernel, as *vm.AddressSpace) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if as.PageShift() != cfg.PageShift() {
+		return nil, fmt.Errorf("sim: address space page shift %d does not match config %d",
+			as.PageShift(), cfg.PageShift())
+	}
+	if len(kernel.TBs) == 0 {
+		return nil, fmt.Errorf("sim: kernel %q has no thread blocks", kernel.Name)
+	}
+	if err := kernel.ValidatePhases(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	s := &Simulator{
+		cfg:         cfg,
+		kernel:      kernel,
+		as:          as,
+		policy:      sched.NewPolicy(cfg.TBScheduler),
+		l2cache:     cache.New(cfg.L2Cache),
+		l2tlbMeters: make([]noc.Meter, cfg.L2TLBPorts),
+		l2Inflight:  make(map[vm.VPN]inflight),
+		lineShift:   uintLog2(cfg.L1Cache.LineBytes),
+		pageShift:   cfg.PageShift(),
+	}
+	s.xbar = noc.New(cfg.NumSMs, cfg.MemPartitions, cfg.InterconnectLatency, cfg.NoCServiceCycles)
+	s.mem = dram.New(dram.Config{
+		Partitions:    cfg.MemPartitions,
+		BanksPerPart:  cfg.DRAMBanksPerPart,
+		RowBytes:      cfg.DRAMRowBytes,
+		RowHitCycles:  cfg.DRAMRowHitLatency,
+		RowMissCycles: cfg.DRAMLatency,
+		LineBytes:     cfg.L1Cache.LineBytes,
+	})
+	s.l2tlb = tlb.New(cfg.L2TLB, tlb.Options{
+		Policy:      arch.IndexByAddress,
+		Compression: cfg.TLBCompression,
+		Replacement: cfg.TLBReplacement,
+	})
+	if cfg.PWCEntries > 0 {
+		// Fully-associative page-walk cache of last-level PT pointers.
+		s.pwc = tlb.New(arch.TLBConfig{Entries: cfg.PWCEntries, Assoc: cfg.PWCEntries, LookupLatency: 1},
+			tlb.Options{Policy: arch.IndexByAddress})
+	}
+	slots := kernel.ConcurrentTBsPerSM(cfg)
+	l1opt := tlb.Options{
+		Policy:                cfg.TLBIndexPolicy,
+		Sharing:               cfg.SharingMode,
+		ShareCounterThreshold: cfg.ShareCounterThreshold,
+		Compression:           cfg.TLBCompression,
+		Replacement:           cfg.TLBReplacement,
+	}
+	// L1 victims refresh the shared L2 TLB so translations held by an SM do
+	// not age out of the L2 while they are hot in an L1.
+	l1opt.OnEvict = func(vpn vm.VPN, ppn vm.PPN) {
+		if !s.l2tlb.Contains(0, vpn) {
+			s.l2tlb.Insert(0, vpn, ppn)
+		}
+	}
+	for i := 0; i < cfg.NumSMs; i++ {
+		sm := &smState{
+			id:           i,
+			l1tlb:        tlb.New(cfg.L1TLB, l1opt),
+			l1cache:      cache.New(cfg.L1Cache),
+			slots:        make([]slotState, slots),
+			inflight:     make(map[vm.VPN]inflight),
+			missHandlers: make([]engine.Cycle, cfg.TranslationMSHRs),
+		}
+		sm.l1tlb.ConfigureSlots(slots)
+		s.sms = append(s.sms, sm)
+	}
+	return s, nil
+}
+
+func uintLog2(v int) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Run simulates the kernel to completion and returns the results.
+func (s *Simulator) Run() Result {
+	s.dispatch()
+	if s.cfg.SampleInterval > 0 {
+		s.queue.Schedule(engine.Cycle(s.cfg.SampleInterval), s.sample)
+	}
+	for s.queue.Len() > 0 {
+		ev := s.queue.Pop()
+		s.clock = ev.At
+		ev.Fn()
+	}
+	if s.tbsDone != len(s.kernel.TBs) {
+		panic(fmt.Sprintf("sim: deadlock — %d of %d TBs finished", s.tbsDone, len(s.kernel.TBs)))
+	}
+	return s.result()
+}
+
+// sample records one windowed statistics snapshot and re-arms itself while
+// the simulation has pending work.
+func (s *Simulator) sample() {
+	var hits, acc int64
+	for _, sm := range s.sms {
+		st := sm.l1tlb.Stats()
+		hits += st.Hits
+		acc += st.Accesses
+	}
+	dAcc := acc - s.lastSampleAcc
+	var rate float64
+	if dAcc > 0 {
+		rate = float64(hits-s.lastSampleHits) / float64(dAcc)
+	}
+	s.samples = append(s.samples, Sample{
+		Cycle:     s.clock,
+		L1HitRate: rate,
+		Walks:     s.walks - s.lastSampleWalks,
+	})
+	s.lastSampleHits, s.lastSampleAcc, s.lastSampleWalks = hits, acc, s.walks
+	if s.queue.Len() > 0 { // only while other work remains
+		s.queue.Schedule(s.clock+engine.Cycle(s.cfg.SampleInterval), s.sample)
+	}
+}
+
+func (s *Simulator) result() Result {
+	r := Result{
+		Cycles:             s.lastDone,
+		Walks:              s.walks,
+		Faults:             s.faults,
+		PWCHits:            s.pwcHits,
+		InstsIssued:        s.instsIssued,
+		LineRequests:       s.lineRequests,
+		PageRequests:       s.pageRequests,
+		L2TLB:              s.l2tlb.Stats(),
+		L2Cache:            s.l2cache.Stats(),
+		Samples:            s.samples,
+		TranslationLatency: s.transLatency,
+		NoCStalls:          s.xbar.Stalls(),
+		DRAMRowHits:        s.mem.RowHits(),
+		DRAMRowMisses:      s.mem.RowMisses(),
+	}
+	var rateSum float64
+	active := 0
+	for _, sm := range s.sms {
+		st := sm.l1tlb.Stats()
+		r.L1TLBPerSM = append(r.L1TLBPerSM, st)
+		if st.Accesses > 0 {
+			rateSum += st.HitRate()
+			active++
+		}
+		cs := sm.l1cache.Stats()
+		r.L1Cache.Accesses += cs.Accesses
+		r.L1Cache.Hits += cs.Hits
+		r.L1Cache.Misses += cs.Misses
+		r.L1Cache.Evictions += cs.Evictions
+		r.TBsPerSM = append(r.TBsPerSM, sm.tbsRun)
+	}
+	if active > 0 {
+		r.L1TLBHitRate = rateSum / float64(active)
+	}
+	return r
+}
+
+// dispatch places pending TBs onto SMs until the grid is exhausted, no SM
+// has a free slot, or the next TB belongs to a phase whose dependencies
+// have not completed (kernel-boundary barrier).
+func (s *Simulator) dispatch() {
+	for s.nextTB < len(s.kernel.TBs) {
+		if b := s.phaseBarrier(); s.nextTB >= b && s.tbsDone < b {
+			return // wait for the earlier phase to drain
+		}
+		statuses := make([]sched.SMStatus, len(s.sms))
+		for i, sm := range s.sms {
+			free := 0
+			for _, sl := range sm.slots {
+				if !sl.active {
+					free++
+				}
+			}
+			statuses[i] = sched.SMStatus{FreeSlots: free, TLBHits: sm.schedHits, TLBTotal: sm.schedTotal}
+		}
+		smIdx, cur := s.policy.Pick(statuses, s.cursor)
+		if smIdx < 0 {
+			return
+		}
+		s.cursor = cur
+		s.place(s.sms[smIdx], s.nextTB)
+		s.nextTB++
+	}
+}
+
+// place assigns TB tbIndex to a free hardware slot of sm and wakes its warps.
+func (s *Simulator) place(sm *smState, tbIndex int) {
+	slot := -1
+	for i := range sm.slots {
+		if !sm.slots[i].active {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		panic("sim: place on SM without free slot")
+	}
+	tb := &s.kernel.TBs[tbIndex]
+	sm.slots[slot] = slotState{active: true, tbIndex: tbIndex, remainingWarps: len(tb.Warps)}
+	sm.tbsRun++
+	for w := range tb.Warps {
+		ws := &warpState{sm: sm, slot: slot, seq: s.warpSeq, insts: tb.Warps[w].Insts}
+		s.warpSeq++
+		if len(ws.insts) == 0 {
+			s.retireWarp(ws)
+			continue
+		}
+		sm.ready = append(sm.ready, ws)
+	}
+	s.armTick(sm, s.clock+1)
+}
+
+// armTick schedules an issue tick for sm at cycle at (if none pending).
+func (s *Simulator) armTick(sm *smState, at engine.Cycle) {
+	if sm.tickPending {
+		return
+	}
+	if at < sm.nextIssueAt {
+		at = sm.nextIssueAt
+	}
+	if at <= s.clock {
+		at = s.clock + 1
+	}
+	sm.tickPending = true
+	s.queue.Schedule(at, func() { s.tick(sm) })
+}
+
+// tick is one SM issue cycle: up to IssueWidth warps issue, greedy-then-
+// oldest order.
+func (s *Simulator) tick(sm *smState) {
+	sm.tickPending = false
+	sm.nextIssueAt = s.clock + 1
+	for n := 0; n < s.cfg.IssueWidth && len(sm.ready) > 0; n++ {
+		ws := s.pickWarp(sm)
+		s.issue(ws)
+	}
+	if len(sm.ready) > 0 {
+		s.armTick(sm, s.clock+1)
+	}
+}
+
+// pickWarp removes and returns the next warp to issue under the configured
+// warp scheduling policy.
+func (s *Simulator) pickWarp(sm *smState) *warpState {
+	var best int
+	switch s.cfg.WarpScheduler {
+	case arch.WarpLRR:
+		best = s.pickLRR(sm)
+	case arch.WarpTransAware:
+		best = s.pickTransAware(sm)
+	default:
+		best = s.pickGTO(sm)
+	}
+	ws := sm.ready[best]
+	sm.ready[best] = sm.ready[len(sm.ready)-1]
+	sm.ready = sm.ready[:len(sm.ready)-1]
+	sm.last = ws
+	if ws.seq > sm.rrCursor {
+		sm.rrCursor = ws.seq
+	}
+	return ws
+}
+
+// pickGTO returns the index of the greedy-then-oldest choice: the
+// last-issued warp if ready, else the lowest-seq (oldest) ready warp.
+func (s *Simulator) pickGTO(sm *smState) int {
+	best := -1
+	for i, ws := range sm.ready {
+		if ws == sm.last {
+			return i
+		}
+		if best < 0 || ws.seq < sm.ready[best].seq {
+			best = i
+		}
+	}
+	return best
+}
+
+// pickLRR returns the index of the loose round-robin choice: the ready warp
+// with the smallest seq above the rotation cursor, wrapping to the oldest.
+func (s *Simulator) pickLRR(sm *smState) int {
+	above, oldest := -1, -1
+	for i, ws := range sm.ready {
+		if ws.seq > sm.rrCursor && (above < 0 || ws.seq < sm.ready[above].seq) {
+			above = i
+		}
+		if oldest < 0 || ws.seq < sm.ready[oldest].seq {
+			oldest = i
+		}
+	}
+	if above >= 0 {
+		return above
+	}
+	return oldest
+}
+
+// pickTransAware returns the index of the translation reuse-aware choice
+// (the paper's future-work warp scheduler): in greedy-then-oldest order,
+// prefer a warp whose next instruction needs no new translation — compute,
+// or a memory access whose coalesced pages are all L1 TLB resident. Falls
+// back to plain GTO when no ready warp qualifies. Probing is bounded to
+// keep the scheduler implementable.
+func (s *Simulator) pickTransAware(sm *smState) int {
+	const maxProbe = 8
+	gto := s.pickGTO(sm)
+	order := make([]int, 0, len(sm.ready))
+	if sm.last != nil {
+		for i, ws := range sm.ready {
+			if ws == sm.last {
+				order = append(order, i)
+				break
+			}
+		}
+	}
+	for i := range sm.ready {
+		if len(order) > 0 && i == order[0] && sm.ready[i] == sm.last {
+			continue
+		}
+		order = append(order, i)
+	}
+	probed := 0
+	bestIdx, bestSeq := -1, int64(-1)
+	for _, i := range order {
+		if probed >= maxProbe {
+			break
+		}
+		ws := sm.ready[i]
+		in := ws.insts[ws.pc]
+		resident := true
+		if in.IsMem() {
+			probed++
+			for _, vpn := range trace.CoalescePages(in.Addrs, s.pageShift) {
+				if !sm.l1tlb.Contains(ws.slot, vpn) {
+					resident = false
+					break
+				}
+			}
+		}
+		if resident {
+			if ws == sm.last {
+				return i // greedy hit: issue immediately
+			}
+			if bestIdx < 0 || ws.seq < bestSeq {
+				bestIdx, bestSeq = i, ws.seq
+			}
+		}
+	}
+	if bestIdx >= 0 {
+		return bestIdx
+	}
+	return gto
+}
+
+// issue executes one instruction of ws at the current cycle.
+func (s *Simulator) issue(ws *warpState) {
+	in := ws.insts[ws.pc]
+	ws.pc++
+	s.instsIssued++
+
+	var done engine.Cycle
+	if in.IsMem() {
+		done = s.executeMem(ws.sm, ws.slot, in)
+	} else {
+		c := in.Compute
+		if c < 1 {
+			c = 1
+		}
+		done = s.clock + engine.Cycle(c)
+	}
+
+	if ws.pc >= len(ws.insts) {
+		if done > s.lastDone {
+			s.lastDone = done
+		}
+		s.queue.Schedule(done, func() { s.retireWarp(ws) })
+		return
+	}
+	s.queue.Schedule(done, func() {
+		sm := ws.sm
+		sm.ready = append(sm.ready, ws)
+		s.armTick(sm, s.clock)
+	})
+}
+
+// retireWarp accounts a finished warp; the last warp of a TB frees the slot,
+// resets the TLB sharing flags for that TB id, and triggers dispatch.
+func (s *Simulator) retireWarp(ws *warpState) {
+	sm := ws.sm
+	sl := &sm.slots[ws.slot]
+	sl.remainingWarps--
+	if sm.last == ws {
+		sm.last = nil
+	}
+	if sl.remainingWarps > 0 {
+		return
+	}
+	sl.active = false
+	sm.l1tlb.OnTBFinish(ws.slot)
+	s.tbsDone++
+	s.scheduleDispatch()
+}
+
+// phaseBarrier returns the first phase boundary not yet fully retired, or
+// the grid size when none remains.
+func (s *Simulator) phaseBarrier() int {
+	for _, b := range s.kernel.PhaseStarts {
+		if s.tbsDone < b {
+			return b
+		}
+	}
+	return len(s.kernel.TBs)
+}
+
+// scheduleDispatch arms the TB scheduler's next periodic run. Freed slots
+// accumulate until it fires, so the scheduler sees several candidate SMs at
+// once — the situation where the TLB-aware policy differs from round-robin.
+func (s *Simulator) scheduleDispatch() {
+	if s.dispatchPending || s.nextTB >= len(s.kernel.TBs) {
+		return
+	}
+	s.dispatchPending = true
+	period := engine.Cycle(s.cfg.TBDispatchPeriod)
+	at := (s.clock/period + 1) * period
+	s.queue.Schedule(at, func() {
+		s.dispatchPending = false
+		s.dispatch()
+	})
+}
+
+// executeMem runs one coalesced memory instruction and returns its
+// completion cycle: translations for every distinct page, then the data
+// accesses of every distinct line, each starting when its page's
+// translation completes. The warp blocks until the slowest request.
+func (s *Simulator) executeMem(sm *smState, slot int, in trace.Inst) engine.Cycle {
+	pages := trace.CoalescePages(in.Addrs, s.pageShift)
+	s.pageRequests += int64(len(pages))
+
+	type pageDone struct {
+		vpn  vm.VPN
+		ppn  vm.PPN
+		done engine.Cycle
+		hit  bool
+	}
+	trans := make([]pageDone, len(pages))
+	instDone := s.clock + 1
+	for i, vpn := range pages {
+		ppn, done, hit := s.translate(sm, slot, vpn)
+		trans[i] = pageDone{vpn, ppn, done, hit}
+		s.recordTranslationLatency(done - s.clock)
+		if done > instDone {
+			instDone = done
+		}
+	}
+
+	lines := trace.CoalesceLines(in.Addrs, s.cfg.L1Cache.LineBytes)
+	s.lineRequests += int64(len(lines))
+	linesPerPage := s.pageShift - s.lineShift
+	for _, line := range lines {
+		vpn := vm.VPN(line >> linesPerPage)
+		var pd pageDone
+		for _, t := range trans {
+			if t.vpn == vpn {
+				pd = t
+				break
+			}
+		}
+		phys := cache.LineAddr(uint64(pd.ppn)<<linesPerPage | uint64(line)&(1<<linesPerPage-1))
+		// VIPT: on an L1 TLB hit the cache is indexed in parallel with the
+		// lookup, so the data access starts immediately; a miss must wait
+		// for the physical tag.
+		start := s.clock
+		if !pd.hit {
+			start = pd.done
+		}
+		done := s.dataAccess(sm, phys, start)
+		if pd.done > done {
+			done = pd.done
+		}
+		if done > instDone {
+			instDone = done
+		}
+	}
+	return instDone
+}
+
+// recordTranslationLatency buckets one translation's request-to-completion
+// latency into the power-of-two histogram.
+func (s *Simulator) recordTranslationLatency(lat engine.Cycle) {
+	b := 0
+	for v := int64(lat); v > 1 && b < len(s.transLatency)-1; v >>= 1 {
+		b++
+	}
+	s.transLatency[b]++
+}
+
+// dataAccess models the data path for one line from cycle start: L1 cache,
+// then the crossbar to the line's memory partition, the L2 cache slice, and
+// on an L2 miss the partition's DRAM banks, then the reply traversal.
+func (s *Simulator) dataAccess(sm *smState, phys cache.LineAddr, start engine.Cycle) engine.Cycle {
+	if sm.l1cache.Access(phys) {
+		return start + engine.Cycle(s.cfg.L1Cache.HitLatency)
+	}
+	t := start + engine.Cycle(s.cfg.L1Cache.HitLatency)
+	part := s.mem.Partition(phys)
+	arrive := s.xbar.Traverse(sm.id, part, t)
+	t = arrive + engine.Cycle(s.cfg.L2Cache.HitLatency)
+	if !s.l2cache.Access(phys) {
+		t = s.mem.Access(phys, t)
+	}
+	return s.xbar.Return(part, sm.id, t)
+}
+
+// translate resolves one VPN through L1 TLB -> L2 TLB -> page-table walkers,
+// returning the PPN, the cycle the translation is available to the SM, and
+// whether it hit in the L1 TLB (a VIPT hit overlaps the cache access).
+func (s *Simulator) translate(sm *smState, slot int, vpn vm.VPN) (vm.PPN, engine.Cycle, bool) {
+	ppn, hit, probed := sm.l1tlb.Lookup(slot, vpn)
+	cost := probed * s.cfg.L1TLB.LookupLatency
+	if s.cfg.TLBCompression {
+		cost += s.cfg.CompressionLatency
+	}
+	sm.schedTotal++
+	if hit {
+		sm.schedHits++
+	}
+	if sm.schedTotal >= 4096 { // keep the table "instantaneous": decay
+		sm.schedTotal >>= 1
+		sm.schedHits >>= 1
+	}
+	t1 := s.clock + engine.Cycle(cost)
+	if hit {
+		return ppn, t1, true
+	}
+
+	// Merge with an in-flight miss to the same page from this SM (MSHR).
+	if inf, ok := sm.inflight[vpn]; ok && inf.done > s.clock {
+		if t1 > inf.done {
+			return inf.ppn, t1, false
+		}
+		return inf.ppn, inf.done, false
+	}
+
+	// A new miss needs a free translation MSHR; when all are occupied the
+	// request waits for the earliest one.
+	h := 0
+	for i := 1; i < len(sm.missHandlers); i++ {
+		if sm.missHandlers[i] < sm.missHandlers[h] {
+			h = i
+		}
+	}
+	if sm.missHandlers[h] > t1 {
+		t1 = sm.missHandlers[h]
+	}
+
+	tlbPart := int(uint64(vpn) % uint64(s.cfg.MemPartitions))
+	t2 := s.xbar.Traverse(sm.id, tlbPart, t1)
+	ppn2, hit2, probed2 := s.l2tlb.Lookup(0, vpn)
+	// The L2 TLB bank for this VPN serves one probe at a time: queue
+	// behind earlier probes, then occupy the port for the lookup.
+	bank := int(vpn) % len(s.l2tlbMeters)
+	l2cost := probed2 * s.cfg.L2TLB.LookupLatency
+	start := s.l2tlbMeters[bank].Reserve(t2, l2cost)
+	t3 := start + engine.Cycle(l2cost)
+	if hit2 {
+		done := s.xbar.Return(tlbPart, sm.id, t3)
+		sm.l1tlb.Insert(slot, vpn, ppn2)
+		sm.inflight[vpn] = inflight{ppn2, done}
+		sm.missHandlers[h] = done
+		return ppn2, done, false
+	}
+
+	// Merge with a walk in flight from another SM.
+	if inf, ok := s.l2Inflight[vpn]; ok && inf.done > s.clock {
+		wait := inf.done
+		if t3 > wait {
+			wait = t3
+		}
+		done := s.xbar.Return(tlbPart, sm.id, wait)
+		sm.l1tlb.Insert(slot, vpn, inf.ppn)
+		sm.inflight[vpn] = inflight{inf.ppn, done}
+		sm.missHandlers[h] = done
+		return inf.ppn, done, false
+	}
+
+	// Page-table walk (first touch demand-pages under UVM). A page-walk
+	// cache hit on the 2MB region's last-level pointer skips the upper
+	// levels, leaving only the leaf reference.
+	wppn, faulted := s.as.Touch(vm.Addr(vpn) << s.pageShift)
+	lat := engine.Cycle(s.cfg.WalkLatency)
+	if s.pwc != nil {
+		region := vm.VPN(vpn >> 9)
+		if _, hit, _ := s.pwc.Lookup(0, region); hit {
+			lat = engine.Cycle(s.cfg.WalkLatency / vm.Levels)
+			s.pwcHits++
+		} else {
+			s.pwc.Insert(0, region, 0)
+		}
+	}
+	if faulted {
+		lat += engine.Cycle(s.cfg.PageFaultLatency)
+		s.faults++
+	}
+	// The walk occupies one of NumWalkers servers: the pool's aggregate
+	// throughput is modelled by metering 1/NumWalkers of the latency.
+	poolCost := int(lat) / s.cfg.NumWalkers
+	if poolCost < 1 {
+		poolCost = 1
+	}
+	wstart := s.walkerMeter.Reserve(t3, poolCost)
+	wdone := wstart + lat
+	s.walks++
+
+	s.l2tlb.Insert(0, vpn, wppn)
+	sm.l1tlb.Insert(slot, vpn, wppn)
+	s.l2Inflight[vpn] = inflight{wppn, wdone}
+	done := s.xbar.Return(tlbPart, sm.id, wdone)
+	sm.inflight[vpn] = inflight{wppn, done}
+	sm.missHandlers[h] = done
+	return wppn, done, false
+}
+
+// Run is the package-level convenience: build and run in one call.
+func Run(cfg arch.Config, kernel *trace.Kernel, as *vm.AddressSpace) (Result, error) {
+	s, err := New(cfg, kernel, as)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(), nil
+}

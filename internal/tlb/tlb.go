@@ -1,0 +1,494 @@
+// Package tlb implements the translation look-aside buffers under study:
+//
+//   - the conventional address-indexed set-associative TLB (baseline),
+//   - the TB-id partitioned L1 TLB of paper Section IV-B (Figure 8), where
+//     the hardware TB id — not VPN bits — selects the set and entries store
+//     the full VPN,
+//   - partitioning plus dynamic adjacent-set sharing (Figure 9), driven by a
+//     16-bit sharing-flag register, and
+//   - a contiguity-compressed TLB modelling the PACT'20 comparator used in
+//     Figure 12, which coalesces runs of pages with a common VPN→PPN delta
+//     into one entry.
+//
+// All variants use true LRU within the probed ways and account the lookup
+// latency of probing multiple sets (the partitioning overhead the paper
+// explicitly includes in its evaluation).
+package tlb
+
+import (
+	"fmt"
+
+	"gputlb/internal/arch"
+	"gputlb/internal/vm"
+)
+
+// DefaultCompressionSpan is the aligned group size (in pages) a compressed
+// entry can cover.
+const DefaultCompressionSpan = 8
+
+// Options selects the TLB variant.
+type Options struct {
+	Policy  arch.TLBIndexPolicy
+	Sharing arch.SharingMode
+	// ShareCounterThreshold > 0 replaces the 1-bit sharing flag with a
+	// saturating counter: sharing into a neighbour activates only after the
+	// threshold number of spill opportunities (paper future-work ablation).
+	ShareCounterThreshold int
+	// Compression enables contiguity-coalescing entries.
+	Compression bool
+	// CompressionSpan is the aligned group size in pages (power of two).
+	// Zero means DefaultCompressionSpan.
+	CompressionSpan int
+	// Replacement selects the victim policy (LRU by default).
+	Replacement arch.TLBReplacementPolicy
+	// OnEvict, when set, is called with every valid entry this TLB evicts
+	// (victim write-back: an L1 TLB hands its victims to the L2 so
+	// L1-resident translations do not go stale there). Compressed entries
+	// report their base page.
+	OnEvict func(vpn vm.VPN, ppn vm.PPN)
+}
+
+// Stats counts TLB activity. ProbeSets accumulates the number of sets
+// searched across all lookups: with a fixed per-set latency it is the total
+// lookup-cycle cost, which is how the partitioning overhead enters the
+// timing model.
+type Stats struct {
+	Accesses   int64
+	Hits       int64
+	Misses     int64
+	ProbeSets  int64
+	Evictions  int64
+	Spills     int64 // victims relocated into a neighbour's set
+	Coalesced  int64 // inserts absorbed into an existing compressed entry
+	FlagSets   int64 // sharing-flag activations
+	FlagResets int64
+}
+
+// HitRate returns Hits/Accesses (0 when idle).
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+type entry struct {
+	valid  bool
+	vpn    vm.VPN // full VPN (partitioned designs) or group base (compressed)
+	ppn    vm.PPN // PPN of vpn (compressed: of the group base)
+	mask   uint64 // compressed: bitmap of present pages in the group
+	stamp  uint64 // LRU timestamp
+	filled uint64 // insertion timestamp (FIFO)
+}
+
+// TLB is one translation buffer. It is not safe for concurrent use; the
+// simulator drives each TLB from a single goroutine.
+type TLB struct {
+	cfg  arch.TLBConfig
+	opt  Options
+	sets [][]entry
+
+	clock    uint64 // LRU stamp source
+	numSlots int    // concurrent TB slots configured on the owning SM
+
+	// shareWith[i] is the bitmask of TB slots whose sets slot i may also
+	// use. Adjacent mode only ever sets bit (i+1)%numSlots; all-to-all may
+	// set any. Cleared on ConfigureSlots and on TB finish.
+	shareWith []uint32
+	// shareCount[i] counts spill opportunities toward ShareCounterThreshold.
+	shareCount []int
+
+	stats Stats
+}
+
+// New builds a TLB. cfg must already be validated.
+func New(cfg arch.TLBConfig, opt Options) *TLB {
+	if opt.Compression && opt.CompressionSpan == 0 {
+		opt.CompressionSpan = DefaultCompressionSpan
+	}
+	if opt.Compression && opt.CompressionSpan&(opt.CompressionSpan-1) != 0 {
+		panic(fmt.Sprintf("tlb: compression span %d not a power of two", opt.CompressionSpan))
+	}
+	t := &TLB{cfg: cfg, opt: opt}
+	t.sets = make([][]entry, cfg.Sets())
+	backing := make([]entry, cfg.Sets()*cfg.Assoc)
+	for i := range t.sets {
+		t.sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	t.ConfigureSlots(1)
+	return t
+}
+
+// Config returns the geometry.
+func (t *TLB) Config() arch.TLBConfig { return t.cfg }
+
+// Stats returns a copy of the counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the counters without touching contents.
+func (t *TLB) ResetStats() { t.stats = Stats{} }
+
+// ConfigureSlots sets the number of concurrent TB slots the owning SM runs
+// (determined at kernel launch from the TB resource needs). It resets the
+// sharing state but deliberately keeps TLB contents: TB ids are reused
+// across TBs precisely so entries survive for potential inter-TB reuse.
+func (t *TLB) ConfigureSlots(n int) {
+	if n < 1 {
+		n = 1
+	}
+	t.numSlots = n
+	t.shareWith = make([]uint32, n)
+	t.shareCount = make([]int, n)
+}
+
+// NumSlots returns the configured concurrent TB slot count.
+func (t *TLB) NumSlots() int { return t.numSlots }
+
+// ownedSets returns the contiguous set range [lo,hi) owned by slot. With
+// more slots than sets, slots fold onto single sets (slot mod sets).
+func (t *TLB) ownedSets(slot int) (lo, hi int) {
+	s := len(t.sets)
+	n := t.numSlots
+	if n > s {
+		i := slot % s
+		return i, i + 1
+	}
+	return slot * s / n, (slot + 1) * s / n
+}
+
+// groupOf maps a VPN to its aligned compression group base and bit.
+func (t *TLB) groupOf(vpn vm.VPN) (base vm.VPN, bit uint64) {
+	span := vm.VPN(t.opt.CompressionSpan)
+	return vpn &^ (span - 1), 1 << (uint64(vpn) & uint64(span-1))
+}
+
+// probeKey returns the tag to match and the mask bit to test for vpn.
+func (t *TLB) probeKey(vpn vm.VPN) (tag vm.VPN, bit uint64) {
+	if t.opt.Compression {
+		return t.groupOf(vpn)
+	}
+	return vpn, 0
+}
+
+// setsToProbe lists the sets a lookup/insert for (slot, vpn) must search, in
+// priority order (own sets first, then shared neighbours' sets).
+func (t *TLB) setsToProbe(slot int, vpn vm.VPN) []int {
+	if t.opt.Policy == arch.IndexByAddress {
+		tag, _ := t.probeKey(vpn)
+		idx := tag
+		if t.opt.Compression {
+			idx = tag >> uintLog2(t.opt.CompressionSpan)
+		}
+		return []int{int(idx) & (len(t.sets) - 1)}
+	}
+	lo, hi := t.ownedSets(slot)
+	out := make([]int, 0, hi-lo+2)
+	for s := lo; s < hi; s++ {
+		out = append(out, s)
+	}
+	if t.opt.Policy == arch.IndexByTBShared {
+		mask := t.shareWith[slot]
+		for other := 0; other < t.numSlots && mask != 0; other++ {
+			if mask&(1<<uint(other)) == 0 {
+				continue
+			}
+			mask &^= 1 << uint(other)
+			olo, ohi := t.ownedSets(other)
+			for s := olo; s < ohi; s++ {
+				if s < lo || s >= hi { // folding can alias sets
+					out = append(out, s)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func uintLog2(v int) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Lookup translates vpn for the TB in the given slot. It returns the PPN on
+// a hit and the number of sets probed (each costing cfg.LookupLatency
+// cycles). slot is ignored under IndexByAddress.
+func (t *TLB) Lookup(slot int, vpn vm.VPN) (ppn vm.PPN, hit bool, setsProbed int) {
+	t.clock++
+	t.stats.Accesses++
+	tag, bit := t.probeKey(vpn)
+	probe := t.setsToProbe(slot, vpn)
+	t.stats.ProbeSets += int64(len(probe))
+	for _, si := range probe {
+		ways := t.sets[si]
+		for w := range ways {
+			e := &ways[w]
+			if !e.valid || e.vpn != tag {
+				continue
+			}
+			if t.opt.Compression && e.mask&bit == 0 {
+				continue
+			}
+			e.stamp = t.clock
+			t.stats.Hits++
+			p := e.ppn
+			if t.opt.Compression {
+				p += vm.PPN(vpn - tag)
+			}
+			return p, true, len(probe)
+		}
+	}
+	t.stats.Misses++
+	return 0, false, len(probe)
+}
+
+// Contains reports whether vpn is present for slot without disturbing LRU or
+// stats (test/diagnostic helper).
+func (t *TLB) Contains(slot int, vpn vm.VPN) bool {
+	tag, bit := t.probeKey(vpn)
+	for _, si := range t.setsToProbe(slot, vpn) {
+		for w := range t.sets[si] {
+			e := &t.sets[si][w]
+			if e.valid && e.vpn == tag && (!t.opt.Compression || e.mask&bit != 0) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Insert installs vpn→ppn for the TB in slot after a miss has been resolved.
+// Under compression it first tries to coalesce into an entry covering the
+// same aligned group with a consistent VPN→PPN delta. Under partitioning
+// with sharing, an eviction victim may be relocated into the adjacent TB's
+// sets when a way there is free, activating the sharing flag (paper Fig. 9).
+func (t *TLB) Insert(slot int, vpn vm.VPN, ppn vm.PPN) {
+	t.clock++
+	tag, bit := t.probeKey(vpn)
+
+	probe := t.setsToProbe(slot, vpn)
+
+	// Refresh or coalesce into an existing entry.
+	for _, si := range probe {
+		for w := range t.sets[si] {
+			e := &t.sets[si][w]
+			if !e.valid || e.vpn != tag {
+				continue
+			}
+			if !t.opt.Compression {
+				e.ppn = ppn // same VPN: refresh (translation unchanged in practice)
+				e.stamp = t.clock
+				return
+			}
+			// Coalesce only when the VPN→PPN delta matches the stored run.
+			if e.ppn+vm.PPN(vpn-tag) == ppn {
+				if e.mask&bit == 0 {
+					t.stats.Coalesced++
+				}
+				e.mask |= bit
+				e.stamp = t.clock
+				return
+			}
+		}
+	}
+
+	// Free way in any probed set? Own sets come first in probe order, so a
+	// TB prefers its own partition; once the sharing flag is set the
+	// neighbour's sets are part of the probed pool.
+	for _, si := range probe {
+		for w := range t.sets[si] {
+			if !t.sets[si][w].valid {
+				t.fill(&t.sets[si][w], tag, vpn, ppn, bit)
+				return
+			}
+		}
+	}
+
+	// The probed sets are oversubscribed. Under partitioning+sharing an
+	// overflowing TB checks the adjacent TB's sets (paper Figure 9): if the
+	// neighbour has an empty way — or, more generally, its LRU entry is
+	// staler than our own victim, i.e. the neighbour underutilizes its
+	// sets — the sharing flag is set and the two TBs' sets become one
+	// replacement pool. That is the "balance the number of translations
+	// across multiple sets" behaviour of Section IV-B; the empty-slot
+	// condition the paper states is the special case of a never-used way.
+	if t.opt.Policy == arch.IndexByTBShared {
+		if t.maybeActivateSharing(slot) {
+			probe = t.setsToProbe(slot, vpn)
+			for _, si := range probe {
+				for w := range t.sets[si] {
+					if !t.sets[si][w].valid {
+						t.fill(&t.sets[si][w], tag, vpn, ppn, bit)
+						t.stats.Spills++
+						return
+					}
+				}
+			}
+		}
+	}
+
+	// Evict the LRU entry among the probed sets.
+	vsi, vw := t.lruVictim(probe)
+	t.stats.Evictions++
+	if v := t.sets[vsi][vw]; v.valid && t.opt.OnEvict != nil {
+		t.opt.OnEvict(v.vpn, v.ppn)
+	}
+	t.fill(&t.sets[vsi][vw], tag, vpn, ppn, bit)
+}
+
+// maybeActivateSharing decides whether an oversubscribed slot should start
+// sharing a neighbour's sets, returning true when a new flag was set.
+// Neighbours already shared with are skipped (their sets are in the probe
+// pool already); a neighbour qualifies when its LRU entry is older than the
+// slot's own LRU victim (an empty way is trivially oldest).
+func (t *TLB) maybeActivateSharing(slot int) bool {
+	if t.numSlots < 2 {
+		return false
+	}
+	neighbours := []int{(slot + 1) % t.numSlots}
+	if t.opt.Sharing == arch.ShareAllToAll {
+		neighbours = neighbours[:0]
+		for o := 1; o < t.numSlots; o++ {
+			neighbours = append(neighbours, (slot+o)%t.numSlots)
+		}
+	}
+	myLo, myHi := t.ownedSets(slot)
+	ownStamp := t.oldestStamp(myLo, myHi)
+	for _, nb := range neighbours {
+		if t.shareWith[slot]&(1<<uint(nb)) != 0 {
+			continue
+		}
+		lo, hi := t.ownedSets(nb)
+		if lo == myLo && hi == myHi {
+			continue // set folding: neighbour aliases our own sets
+		}
+		if t.oldestStamp(lo, hi) >= ownStamp {
+			continue // neighbour is at least as busy: do not steal
+		}
+		// Counter ablation: require threshold overflow events before
+		// sharing activates.
+		if th := t.opt.ShareCounterThreshold; th > 0 {
+			t.shareCount[slot]++
+			if t.shareCount[slot] < th {
+				return false
+			}
+		}
+		t.shareWith[slot] |= 1 << uint(nb)
+		t.stats.FlagSets++
+		return true
+	}
+	return false
+}
+
+// oldestStamp returns the minimum LRU stamp in sets [lo,hi); empty ways
+// report stamp 0.
+func (t *TLB) oldestStamp(lo, hi int) uint64 {
+	best := ^uint64(0)
+	for si := lo; si < hi; si++ {
+		for w := range t.sets[si] {
+			e := &t.sets[si][w]
+			if !e.valid {
+				return 0
+			}
+			if e.stamp < best {
+				best = e.stamp
+			}
+		}
+	}
+	return best
+}
+
+func (t *TLB) fill(e *entry, tag, vpn vm.VPN, ppn vm.PPN, bit uint64) {
+	*e = entry{valid: true, vpn: tag, stamp: t.clock, filled: t.clock}
+	if t.opt.Compression {
+		// Store the PPN the group base would have if the run were
+		// contiguous; coalescing later verifies the delta holds.
+		e.ppn = ppn - vm.PPN(vpn-tag)
+		e.mask = bit
+	} else {
+		e.ppn = ppn
+	}
+}
+
+// lruVictim returns the victim way among the given sets under the
+// configured replacement policy.
+func (t *TLB) lruVictim(sets []int) (setIdx, wayIdx int) {
+	if t.opt.Replacement == arch.ReplaceRandom {
+		// Deterministic xorshift over the probe clock.
+		x := t.clock
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		n := uint64(len(sets) * t.cfg.Assoc)
+		pick := int(x % n)
+		return sets[pick/t.cfg.Assoc], pick % t.cfg.Assoc
+	}
+	best := ^uint64(0)
+	for _, si := range sets {
+		for w := range t.sets[si] {
+			e := &t.sets[si][w]
+			key := e.stamp
+			if t.opt.Replacement == arch.ReplaceFIFO {
+				key = e.filled
+			}
+			if key <= best {
+				best = key
+				setIdx, wayIdx = si, w
+			}
+		}
+	}
+	return setIdx, wayIdx
+}
+
+// OnTBFinish is called when the TB occupying slot completes: its sharing
+// flag is reset, as are the flags of TBs that were sharing into its sets.
+// Contents are kept (no flush) for potential inter-TB reuse.
+func (t *TLB) OnTBFinish(slot int) {
+	if slot < 0 || slot >= t.numSlots {
+		return
+	}
+	if t.shareWith[slot] != 0 {
+		t.stats.FlagResets++
+	}
+	t.shareWith[slot] = 0
+	t.shareCount[slot] = 0
+	for o := 0; o < t.numSlots; o++ {
+		if t.shareWith[o]&(1<<uint(slot)) != 0 {
+			t.shareWith[o] &^= 1 << uint(slot)
+			t.stats.FlagResets++
+		}
+	}
+}
+
+// SharingActive reports whether slot currently shares into any neighbour
+// (test/diagnostic helper).
+func (t *TLB) SharingActive(slot int) bool {
+	return slot >= 0 && slot < t.numSlots && t.shareWith[slot] != 0
+}
+
+// Flush invalidates all entries (used between kernels in tests; the design
+// itself never flushes on TB completion).
+func (t *TLB) Flush() {
+	for si := range t.sets {
+		for w := range t.sets[si] {
+			t.sets[si][w] = entry{}
+		}
+	}
+}
+
+// Occupancy returns the number of valid entries (compressed entries count
+// once regardless of span).
+func (t *TLB) Occupancy() int {
+	n := 0
+	for si := range t.sets {
+		for w := range t.sets[si] {
+			if t.sets[si][w].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"gputlb/internal/vm"
+)
+
+// Binary trace format: a compact varint encoding so kernels can be exported,
+// archived and re-run (or imported from external tracers). Memory
+// instructions delta-encode lane addresses, which compresses the common
+// coalesced case to about one byte per lane.
+//
+//	magic "GPUTLBT1"
+//	name, threadsPerTB, regsPerThread, sharedMemPerTB
+//	phaseStarts
+//	TBs: id, warps: insts: kind (0=compute, 1=mem),
+//	     compute cycles | lane count + first addr + deltas
+
+const traceMagic = "GPUTLBT1"
+
+// WriteKernel serializes k to w in the binary trace format.
+func WriteKernel(w io.Writer, k *Kernel) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(len(k.Name)))
+	bw.WriteString(k.Name)
+	writeUvarint(bw, uint64(k.ThreadsPerTB))
+	writeUvarint(bw, uint64(k.RegsPerThread))
+	writeUvarint(bw, uint64(k.SharedMemPerTB))
+	writeUvarint(bw, uint64(len(k.PhaseStarts)))
+	for _, p := range k.PhaseStarts {
+		writeUvarint(bw, uint64(p))
+	}
+	writeUvarint(bw, uint64(len(k.TBs)))
+	for _, tb := range k.TBs {
+		writeUvarint(bw, uint64(tb.ID))
+		writeUvarint(bw, uint64(len(tb.Warps)))
+		for _, wt := range tb.Warps {
+			writeUvarint(bw, uint64(len(wt.Insts)))
+			for _, in := range wt.Insts {
+				if in.IsMem() {
+					bw.WriteByte(1)
+					writeUvarint(bw, uint64(len(in.Addrs)))
+					var prev vm.Addr
+					for i, a := range in.Addrs {
+						if i == 0 {
+							writeUvarint(bw, uint64(a))
+						} else {
+							writeVarint(bw, int64(a)-int64(prev))
+						}
+						prev = a
+					}
+				} else {
+					bw.WriteByte(0)
+					writeUvarint(bw, uint64(in.Compute))
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadKernel deserializes a kernel written by WriteKernel.
+func ReadKernel(r io.Reader) (*Kernel, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	k := &Kernel{}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	k.Name = string(name)
+	fields := []*int{&k.ThreadsPerTB, &k.RegsPerThread, &k.SharedMemPerTB}
+	for _, f := range fields {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		*f = int(v)
+	}
+	nPhases, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nPhases; i++ {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		k.PhaseStarts = append(k.PhaseStarts, int(v))
+	}
+	nTBs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for t := uint64(0); t < nTBs; t++ {
+		var tb TBTrace
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		tb.ID = int(id)
+		nWarps, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		for w := uint64(0); w < nWarps; w++ {
+			var wt WarpTrace
+			nInsts, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			for i := uint64(0); i < nInsts; i++ {
+				kind, err := br.ReadByte()
+				if err != nil {
+					return nil, err
+				}
+				switch kind {
+				case 0:
+					c, err := binary.ReadUvarint(br)
+					if err != nil {
+						return nil, err
+					}
+					wt.Insts = append(wt.Insts, Inst{Compute: int(c)})
+				case 1:
+					lanes, err := binary.ReadUvarint(br)
+					if err != nil {
+						return nil, err
+					}
+					if lanes == 0 || lanes > 64 {
+						return nil, fmt.Errorf("trace: implausible lane count %d", lanes)
+					}
+					addrs := make([]vm.Addr, lanes)
+					first, err := binary.ReadUvarint(br)
+					if err != nil {
+						return nil, err
+					}
+					addrs[0] = vm.Addr(first)
+					for l := uint64(1); l < lanes; l++ {
+						d, err := binary.ReadVarint(br)
+						if err != nil {
+							return nil, err
+						}
+						addrs[l] = vm.Addr(int64(addrs[l-1]) + d)
+					}
+					wt.Insts = append(wt.Insts, Inst{Addrs: addrs})
+				default:
+					return nil, fmt.Errorf("trace: unknown instruction kind %d", kind)
+				}
+			}
+			tb.Warps = append(tb.Warps, wt)
+		}
+		k.TBs = append(k.TBs, tb)
+	}
+	if err := k.ValidatePhases(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeVarint(w *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	w.Write(buf[:n])
+}

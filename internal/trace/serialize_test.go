@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gputlb/internal/vm"
+)
+
+func kernelsEqual(a, b *Kernel) bool {
+	if a.Name != b.Name || a.ThreadsPerTB != b.ThreadsPerTB ||
+		a.RegsPerThread != b.RegsPerThread || a.SharedMemPerTB != b.SharedMemPerTB ||
+		len(a.TBs) != len(b.TBs) || len(a.PhaseStarts) != len(b.PhaseStarts) {
+		return false
+	}
+	for i := range a.PhaseStarts {
+		if a.PhaseStarts[i] != b.PhaseStarts[i] {
+			return false
+		}
+	}
+	for i := range a.TBs {
+		ta, tb := a.TBs[i], b.TBs[i]
+		if ta.ID != tb.ID || len(ta.Warps) != len(tb.Warps) {
+			return false
+		}
+		for w := range ta.Warps {
+			ia, ib := ta.Warps[w].Insts, tb.Warps[w].Insts
+			if len(ia) != len(ib) {
+				return false
+			}
+			for j := range ia {
+				if ia[j].Compute != ib[j].Compute || len(ia[j].Addrs) != len(ib[j].Addrs) {
+					return false
+				}
+				for l := range ia[j].Addrs {
+					if ia[j].Addrs[l] != ib[j].Addrs[l] {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+func randomKernel(seed int64) *Kernel {
+	rng := rand.New(rand.NewSource(seed))
+	k := &Kernel{
+		Name:           "rnd",
+		ThreadsPerTB:   32 * (1 + rng.Intn(8)),
+		RegsPerThread:  rng.Intn(64),
+		SharedMemPerTB: rng.Intn(1 << 14),
+	}
+	nTBs := 2 + rng.Intn(6)
+	for t := 0; t < nTBs; t++ {
+		var tb TBTrace
+		tb.ID = t
+		for w := 0; w < 1+rng.Intn(3); w++ {
+			var wt WarpTrace
+			for i := 0; i < rng.Intn(20); i++ {
+				if rng.Intn(2) == 0 {
+					wt.Insts = append(wt.Insts, Inst{Compute: rng.Intn(500)})
+				} else {
+					addrs := make([]vm.Addr, 1+rng.Intn(32))
+					for l := range addrs {
+						addrs[l] = vm.Addr(rng.Int63n(1 << 40))
+					}
+					wt.Insts = append(wt.Insts, Inst{Addrs: addrs})
+				}
+			}
+			tb.Warps = append(tb.Warps, wt)
+		}
+		k.TBs = append(k.TBs, tb)
+	}
+	if nTBs > 2 && rng.Intn(2) == 0 {
+		k.PhaseStarts = []int{1 + rng.Intn(nTBs-1)}
+	}
+	return k
+}
+
+// Property: WriteKernel/ReadKernel round-trips arbitrary kernels exactly.
+func TestSerializeRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		k := randomKernel(seed)
+		var buf bytes.Buffer
+		if err := WriteKernel(&buf, k); err != nil {
+			return false
+		}
+		got, err := ReadKernel(&buf)
+		if err != nil {
+			return false
+		}
+		return kernelsEqual(k, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSerializeCompact(t *testing.T) {
+	// Coalesced lanes (consecutive addresses) must encode near one byte
+	// per lane thanks to delta encoding.
+	k := &Kernel{Name: "c", ThreadsPerTB: 32}
+	var wt WarpTrace
+	for i := 0; i < 100; i++ {
+		addrs := make([]vm.Addr, 32)
+		for l := range addrs {
+			addrs[l] = vm.Addr(1<<30 + i*4096 + l*8)
+		}
+		wt.Insts = append(wt.Insts, Inst{Addrs: addrs})
+	}
+	k.TBs = []TBTrace{{Warps: []WarpTrace{wt}}}
+	var buf bytes.Buffer
+	if err := WriteKernel(&buf, k); err != nil {
+		t.Fatal(err)
+	}
+	// 3200 lane addresses; raw encoding would be 25KB+.
+	if buf.Len() > 8000 {
+		t.Errorf("trace encodes to %d bytes; delta encoding should stay well under 8000", buf.Len())
+	}
+	got, err := ReadKernel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kernelsEqual(k, got) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestReadKernelRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad-magic": []byte("NOTATRACE"),
+		"truncated": []byte(traceMagic + "\x05abc"),
+	}
+	for name, data := range cases {
+		if _, err := ReadKernel(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadKernelRejectsBadPhases(t *testing.T) {
+	k := randomKernel(1)
+	k.PhaseStarts = []int{len(k.TBs) + 5}
+	var buf bytes.Buffer
+	if err := WriteKernel(&buf, k); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadKernel(&buf); err == nil || !strings.Contains(err.Error(), "phase") {
+		t.Errorf("bad phase starts accepted: %v", err)
+	}
+}
+
+// TestGoldenTraceFormat pins the on-disk format: the checked-in golden file
+// must keep decoding to exactly this kernel, so readers of archived traces
+// never break silently.
+func TestGoldenTraceFormat(t *testing.T) {
+	f, err := os.Open("testdata/golden.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	k, err := ReadKernel(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Kernel{Name: "golden", ThreadsPerTB: 64, RegsPerThread: 32, SharedMemPerTB: 1024}
+	want.TBs = []TBTrace{
+		{ID: 0, Warps: []WarpTrace{{Insts: []Inst{
+			{Addrs: []vm.Addr{0x1000, 0x1008, 0x2000}},
+			{Compute: 42},
+			{Addrs: []vm.Addr{0xdeadbeef000}},
+		}}}},
+		{ID: 1, Warps: []WarpTrace{{Insts: []Inst{{Compute: 7}}}}},
+	}
+	want.PhaseStarts = []int{1}
+	if !kernelsEqual(want, k) {
+		t.Errorf("golden trace decoded differently:\n%+v", k)
+	}
+}

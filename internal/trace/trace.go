@@ -1,0 +1,198 @@
+// Package trace represents GPU kernels as per-warp instruction streams and
+// implements the memory coalescing unit. A kernel is a grid of thread blocks
+// (TBs); each TB holds warps of 32 threads; each warp executes a sequence of
+// instructions that are either compute delays or memory accesses carrying one
+// address per active lane. The coalescer merges a warp's 32 lane addresses
+// into unique cache-line requests and unique page-translation requests —
+// exactly the stream the L1 TLB sees (step 1 of the paper's Figure 1).
+package trace
+
+import (
+	"fmt"
+
+	"gputlb/internal/arch"
+	"gputlb/internal/vm"
+)
+
+// Inst is one warp instruction. If Addrs is non-nil it is a memory
+// instruction with one address per active lane (at most arch.WarpSize);
+// otherwise it models Compute cycles of ALU work.
+type Inst struct {
+	Compute int
+	Addrs   []vm.Addr
+}
+
+// IsMem reports whether the instruction accesses memory.
+func (in Inst) IsMem() bool { return in.Addrs != nil }
+
+// WarpTrace is the instruction stream of one warp.
+type WarpTrace struct {
+	Insts []Inst
+}
+
+// TBTrace is one thread block: its grid-wide id and its warps.
+type TBTrace struct {
+	ID    int
+	Warps []WarpTrace
+}
+
+// Kernel is a full launch: a name, the TB geometry, and per-TB traces.
+type Kernel struct {
+	Name         string
+	ThreadsPerTB int
+	// RegsPerThread and SharedMemPerTB drive the occupancy calculation that
+	// fixes concurrent TBs per SM at launch (paper §IV-B point two).
+	RegsPerThread  int
+	SharedMemPerTB int
+	TBs            []TBTrace
+	// PhaseStarts lists TB indices that begin a new dependent phase (a
+	// separate kernel launch in the real application, e.g. the transposed
+	// sweep of atax). The dispatcher must not launch a TB of phase p until
+	// every TB of earlier phases has completed.
+	PhaseStarts []int
+}
+
+// ValidatePhases checks that PhaseStarts is strictly ascending and in range.
+func (k *Kernel) ValidatePhases() error {
+	prev := 0
+	for _, b := range k.PhaseStarts {
+		if b <= prev || b >= len(k.TBs) {
+			return fmt.Errorf("trace: phase start %d out of order or range (TBs %d)", b, len(k.TBs))
+		}
+		prev = b
+	}
+	return nil
+}
+
+// WarpsPerTB returns the warp count per TB.
+func (k *Kernel) WarpsPerTB() int { return (k.ThreadsPerTB + arch.WarpSize - 1) / arch.WarpSize }
+
+// ConcurrentTBsPerSM computes how many TBs of this kernel fit on one SM, the
+// compile-time occupancy bound: threads, registers, shared memory, warp
+// slots, and the hardware TB-slot limit.
+func (k *Kernel) ConcurrentTBsPerSM(cfg arch.Config) int {
+	n := cfg.EffectiveMaxTBsPerSM()
+	if byThreads := cfg.MaxThreads / k.ThreadsPerTB; byThreads < n {
+		n = byThreads
+	}
+	if byWarps := cfg.MaxWarpsPerSM / k.WarpsPerTB(); byWarps < n {
+		n = byWarps
+	}
+	if k.RegsPerThread > 0 {
+		if byRegs := cfg.RegistersPerSM / (k.RegsPerThread * k.ThreadsPerTB); byRegs < n {
+			n = byRegs
+		}
+	}
+	if k.SharedMemPerTB > 0 {
+		if bySmem := cfg.SharedMemPerSM / k.SharedMemPerTB; bySmem < n {
+			n = bySmem
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// MemInsts counts memory instructions across the kernel.
+func (k *Kernel) MemInsts() int {
+	n := 0
+	for _, tb := range k.TBs {
+		for _, w := range tb.Warps {
+			for _, in := range w.Insts {
+				if in.IsMem() {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// CoalesceLines merges a warp's lane addresses into unique cache-line
+// addresses, preserving first-occurrence order (the coalescing unit issues
+// one request per distinct line).
+func CoalesceLines(addrs []vm.Addr, lineBytes int) []vm.Addr {
+	out := make([]vm.Addr, 0, 4)
+	shift := uintLog2(lineBytes)
+	var seen [arch.WarpSize]vm.Addr
+	n := 0
+	for _, a := range addrs {
+		line := a >> shift
+		dup := false
+		for i := 0; i < n; i++ {
+			if seen[i] == line {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[n] = line
+			n++
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// CoalescePages merges lane addresses into unique virtual page numbers,
+// preserving first-occurrence order — the translation requests one warp
+// memory instruction sends to the L1 TLB.
+func CoalescePages(addrs []vm.Addr, pageShift uint) []vm.VPN {
+	out := make([]vm.VPN, 0, 2)
+	var seen [arch.WarpSize]vm.VPN
+	n := 0
+	for _, a := range addrs {
+		p := vm.VPN(a >> pageShift)
+		dup := false
+		for i := 0; i < n; i++ {
+			if seen[i] == p {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[n] = p
+			n++
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func uintLog2(v int) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// TBPageTrace flattens one TB into its translation-request stream: warps are
+// interleaved round-robin one instruction at a time (approximating fair
+// intra-TB warp scheduling) and each memory instruction contributes its
+// coalesced pages in order. This is the stream the paper's characterization
+// (Eq. 1 and the reuse-distance CDFs) operates on.
+func TBPageTrace(tb TBTrace, pageShift uint) []vm.VPN {
+	var out []vm.VPN
+	idx := make([]int, len(tb.Warps))
+	for {
+		progressed := false
+		for w := range tb.Warps {
+			insts := tb.Warps[w].Insts
+			if idx[w] >= len(insts) {
+				continue
+			}
+			in := insts[idx[w]]
+			idx[w]++
+			progressed = true
+			if in.IsMem() {
+				out = append(out, CoalescePages(in.Addrs, pageShift)...)
+			}
+		}
+		if !progressed {
+			return out
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gputlb/internal/trace"
+	"gputlb/internal/vm"
+)
+
+// The PolyBench linear-algebra kernels. atax, bicg and mvt share the same
+// two-phase matrix-vector structure (a row-major sweep producing an
+// intermediate vector, then a transposed column sweep), which is why the
+// paper reports near-identical behaviour for them. Their L1 TLB locality
+// comes from scan residency: a warp issues several consecutive accesses
+// inside one page while it walks a row, so the translation hits as long as
+// the page survives in the TLB until the scan leaves it. With many TBs per
+// SM the combined active-page set exceeds the 64-entry L1 TLB and the scans
+// interfere — the thrashing that TB-id partitioning isolates. gemm is the
+// tiled matrix multiply whose small, heavily shared tile working set gives
+// it a high baseline hit rate.
+
+const f64 = 8 // element size of the double-precision PolyBench kernels
+const f32 = 4
+
+// matvecShape parameterizes one two-phase matrix-vector kernel.
+type matvecShape struct {
+	name      string
+	rows      int // M
+	cols      int // N (multiple of 512 so rows are whole 4KB pages)
+	rowsPerTB int // phase-1 rows per TB (multiple of 8)
+	rowBand   int // phase-2 rows per TB (partial sums per column band)
+	rowStep   int // phase-2 row stride per modelled access (register blocking)
+	hotPeriod int // phase-2 accesses between hot-vector touches
+	compute   int // ALU cycles between memory instruction groups
+}
+
+// buildMatvec constructs the two-phase kernel over fresh UVM regions.
+//
+// Phase 1 (tmp = A·x): each TB owns a band of rows; every warp walks its
+// rows page by page with four consecutive accesses per page (quarter-page
+// strides), touching the matching page of the shared input vector x between
+// matrix accesses. The warp-active pages of the TBs resident on an SM are
+// what contend for the L1 TLB.
+//
+// Phase 2 (y = Aᵀ·tmp): each TB owns a column band crossed with a row band;
+// advancing down the column jumps a full row of memory per step, so every
+// access streams a new matrix page while the tmp vector is the periodic hot
+// touch.
+func buildMatvec(p Params, sh matvecShape) (*trace.Kernel, *vm.AddressSpace) {
+	as := newSpace(p)
+	M := roundUp(scaled(sh.rows, p.Scale, 128), 128)
+	N := roundUp(scaled(sh.cols, p.Scale, 512), 512)
+	A := mustAlloc(as, "A", uint64(M)*uint64(N)*f64)
+	x := mustAlloc(as, "x", uint64(N)*f64)
+	tmp := mustAlloc(as, "tmp", uint64(M)*f64)
+	y := mustAlloc(as, "y", uint64(N)*f64)
+
+	k := &trace.Kernel{Name: sh.name, ThreadsPerTB: 256}
+	pagesPerRow := N * f64 >> p.PageShift
+	if pagesPerRow < 1 {
+		pagesPerRow = 1
+	}
+	// Scan granularity: one page, or the whole row when a (huge) page
+	// exceeds the row.
+	scanSpan := int(uint(1)<<p.PageShift) / f64
+	if scanSpan > N {
+		scanSpan = N
+	}
+	quarter := scanSpan / 4
+
+	// Phase 1: M/rowsPerTB TBs, 8 warps each.
+	rpt := sh.rowsPerTB
+	tbID := 0
+	for r0 := 0; r0 < M; r0 += rpt {
+		tb := trace.TBTrace{ID: tbID}
+		tbID++
+		for w := 0; w < 8; w++ {
+			var wt trace.WarpTrace
+			for r := r0 + w*rpt/8; r < r0+(w+1)*rpt/8 && r < M; r++ {
+				for c := 0; c < pagesPerRow; c++ {
+					for q := 0; q < 4; q++ {
+						base := r*N + c*scanSpan + q*quarter
+						wt.Insts = append(wt.Insts, warpReadStride(A, base, f64, 4))
+						if q%2 == 1 {
+							wt.Insts = append(wt.Insts,
+								warpReadStride(x, c*scanSpan+q*quarter, f64, 4))
+						}
+					}
+					wt.Insts = append(wt.Insts, compute(sh.compute))
+				}
+			}
+			// Store this warp's partial tmp results.
+			st := r0
+			if st+32 > M {
+				st = M - 32
+			}
+			wt.Insts = append(wt.Insts, warpRead(tmp, st, f64))
+			tb.Warps = append(tb.Warps, wt)
+		}
+		k.TBs = append(k.TBs, tb)
+	}
+
+	// Phase 2 is a separate kernel launch in PolyBench: it consumes tmp, so
+	// it must not start until phase 1 drains.
+	k.PhaseStarts = []int{tbID}
+	// Phase 2: (N/256)x(M/rowBand) TBs, one column per thread within a row
+	// band.
+	for col0 := 0; col0 < N; col0 += 256 {
+		for band := 0; band < M; band += sh.rowBand {
+			bandEnd := band + sh.rowBand
+			if bandEnd > M {
+				bandEnd = M
+			}
+			tb := trace.TBTrace{ID: tbID}
+			tbID++
+			for w := 0; w < 8; w++ {
+				var wt trace.WarpTrace
+				cw := col0 + w*32
+				for r, n := band, 0; r < bandEnd; r, n = r+sh.rowStep, n+1 {
+					wt.Insts = append(wt.Insts, warpRead(A, r*N+cw, f64))
+					if n%sh.hotPeriod == sh.hotPeriod-1 {
+						tr := r
+						if tr+32 > M {
+							tr = M - 32
+						}
+						wt.Insts = append(wt.Insts, warpRead(tmp, tr, f64))
+					}
+					wt.Insts = append(wt.Insts, compute(sh.compute))
+				}
+				wt.Insts = append(wt.Insts, warpRead(y, cw, f64))
+				tb.Warps = append(tb.Warps, wt)
+			}
+			k.TBs = append(k.TBs, tb)
+		}
+	}
+	return k, as
+}
+
+// warpReadStride builds a warp access whose 32 lanes read elements
+// base, base+stride, ... — a register-blocked sequential scan where each
+// lane covers `stride` consecutive elements.
+func warpReadStride(r vm.Region, base, elemSize, stride int) trace.Inst {
+	addrs := make([]vm.Addr, 32)
+	for l := range addrs {
+		addrs[l] = elemAddr(r, base+l*stride, elemSize)
+	}
+	return trace.Inst{Addrs: addrs}
+}
+
+// BuildATAX models atax: y = Aᵀ(A·x).
+func BuildATAX(p Params) (*trace.Kernel, *vm.AddressSpace) {
+	return buildMatvec(p, matvecShape{
+		name: "atax", rows: 2048, cols: 2048,
+		rowsPerTB: 16, rowBand: 512, rowStep: 4, hotPeriod: 4, compute: 26,
+	})
+}
+
+// BuildBICG models bicg: the two independent matrix-vector products
+// (q = A·p, s = Aᵀ·r) of the BiCGStab solver sub-kernel.
+func BuildBICG(p Params) (*trace.Kernel, *vm.AddressSpace) {
+	return buildMatvec(p, matvecShape{
+		name: "bicg", rows: 1792, cols: 2048,
+		rowsPerTB: 16, rowBand: 448, rowStep: 4, hotPeriod: 5, compute: 30,
+	})
+}
+
+// BuildMVT models mvt: x1 += A·y1 and x2 += Aᵀ·y2 over one matrix.
+func BuildMVT(p Params) (*trace.Kernel, *vm.AddressSpace) {
+	return buildMatvec(p, matvecShape{
+		name: "mvt", rows: 2304, cols: 2048,
+		rowsPerTB: 16, rowBand: 576, rowStep: 4, hotPeriod: 4, compute: 22,
+	})
+}
+
+// BuildGEMM models the tiled matrix multiply C = A·B with 16x16-thread tile
+// TBs. Rows are short enough that several pack into one page, so a TB's
+// working set is a handful of pages reused across the whole K sweep, shared
+// with neighbouring TBs along tile rows (A) and globally (B) — the intrinsic
+// inter-TB reuse the paper's Observation 2 describes.
+func BuildGEMM(p Params) (*trace.Kernel, *vm.AddressSpace) {
+	as := newSpace(p)
+	dim := roundUp(scaled(256, p.Scale, 64), 64) // M = N = K
+	A := mustAlloc(as, "A", uint64(dim)*uint64(dim)*f32)
+	B := mustAlloc(as, "B", uint64(dim)*uint64(dim)*f32)
+	C := mustAlloc(as, "C", uint64(dim)*uint64(dim)*f32)
+
+	// 512-thread TBs (16 warps) computing a 16x32 tile of C: one warp per
+	// tile row. Four TBs run per SM, so each gets a quarter of the L1 TLB
+	// under partitioning.
+	k := &trace.Kernel{Name: "gemm", ThreadsPerTB: 512}
+	tbID := 0
+	for tr := 0; tr < dim; tr += 16 {
+		for tc := 0; tc < dim; tc += 32 {
+			tb := trace.TBTrace{ID: tbID}
+			tbID++
+			for w := 0; w < 16; w++ {
+				var wt trace.WarpTrace
+				r := tr + w
+				for kk := 0; kk < dim; kk += 16 {
+					ak := kk
+					if ak+32 > dim {
+						ak = dim - 32 // keep the 32-lane read inside row r
+					}
+					wt.Insts = append(wt.Insts,
+						warpRead(A, r*dim+ak, f32),
+						warpRead(B, (kk+w%16)*dim+tc, f32),
+						compute(24))
+				}
+				wt.Insts = append(wt.Insts, warpRead(C, r*dim+tc, f32))
+				tb.Warps = append(tb.Warps, wt)
+			}
+			k.TBs = append(k.TBs, tb)
+		}
+	}
+	return k, as
+}
+
+// warpPair builds a 32-lane access covering two 16-element row segments
+// (lanes 0-15 from base0, lanes 16-31 from base1) — the canonical 2x16 tile
+// access of a 256-thread GEMM tile warp.
+func warpPair(r vm.Region, base0, base1, elemSize int) trace.Inst {
+	addrs := make([]vm.Addr, 32)
+	for l := 0; l < 16; l++ {
+		addrs[l] = elemAddr(r, base0+l, elemSize)
+		addrs[16+l] = elemAddr(r, base1+l, elemSize)
+	}
+	return trace.Inst{Addrs: addrs}
+}
+
+func mustAlloc(as *vm.AddressSpace, name string, bytes uint64) vm.Region {
+	r, err := as.Alloc(name, bytes)
+	if err != nil {
+		panic(fmt.Sprintf("workloads: alloc %s: %v", name, err))
+	}
+	return r
+}

@@ -1,0 +1,181 @@
+// Package workloads models the ten GPU benchmarks of the paper's Table II as
+// address-trace generators. Each builder reproduces the kernel's memory
+// indexing structure — CSR neighbour walks for the Pannotia/Rodinia graph
+// kernels, row/column sweeps for the PolyBench linear-algebra kernels, the
+// diagonal wavefront of Needleman-Wunsch, and the plane stencil of 3D
+// convolution — over a UVM address space, scaled so the working sets stress
+// a 64-entry per-SM L1 TLB the same way the paper's multi-GB inputs do.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"gputlb/internal/arch"
+	"gputlb/internal/trace"
+	"gputlb/internal/vm"
+)
+
+// Params controls workload construction.
+type Params struct {
+	// PageShift is the UVM base-page shift (12 for 4KB, 21 for 2MB).
+	PageShift uint
+	// Seed drives every random choice (graph structure, scatter).
+	Seed int64
+	// Scale multiplies problem sizes; 1.0 is the experiment scale used by
+	// the figure harnesses, tests use smaller values.
+	Scale float64
+	// Scatter is the physical-frame allocator scatter (0 = contiguous
+	// physical memory, which the TLB-compression comparator exploits).
+	Scatter int
+}
+
+// DefaultParams returns the experiment-scale parameters.
+func DefaultParams() Params {
+	return Params{PageShift: 12, Seed: 1, Scale: 1.0, Scatter: 0}
+}
+
+// BuildFunc constructs a kernel trace and the UVM address space it runs in.
+type BuildFunc func(p Params) (*trace.Kernel, *vm.AddressSpace)
+
+// Spec describes one benchmark (one row of Table II).
+type Spec struct {
+	Name             string
+	Suite            string
+	Input            string
+	PaperFootprintGB float64 // the footprint the paper reports
+	Build            BuildFunc
+}
+
+// All returns the ten benchmarks in the paper's order.
+func All() []Spec {
+	return []Spec{
+		{"bfs", "Rodinia", "citation", 107.48, BuildBFS},
+		{"color", "Pannotia", "citation", 12.89, BuildColor},
+		{"mis", "Pannotia", "citation", 8.44, BuildMIS},
+		{"nw", "Rodinia", "suite", 0.72, BuildNW},
+		{"pagerank", "Pannotia", "citation", 14.70, BuildPageRank},
+		{"3dconv", "PolyBench", "suite", 21.32, Build3DConv},
+		{"atax", "PolyBench", "suite", 4.51, BuildATAX},
+		{"bicg", "PolyBench", "suite", 3.76, BuildBICG},
+		{"gemm", "PolyBench", "suite", 18.28, BuildGEMM},
+		{"mvt", "PolyBench", "suite", 4.38, BuildMVT},
+	}
+}
+
+// Names returns the benchmark names in paper order.
+func Names() []string {
+	specs := All()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ByName finds a benchmark by name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// FootprintBytes sums the region sizes of a built address space — our scaled
+// analogue of Table II's footprint column.
+func FootprintBytes(as *vm.AddressSpace) uint64 {
+	var total uint64
+	for _, r := range as.Regions() {
+		total += r.Bytes
+	}
+	return total
+}
+
+// scaled applies the scale factor with a floor.
+func scaled(base int, scale float64, min int) int {
+	v := int(float64(base) * scale)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// roundUp rounds n up to a multiple of m.
+func roundUp(n, m int) int { return (n + m - 1) / m * m }
+
+// newSpace builds the UVM address space for a benchmark.
+func newSpace(p Params) *vm.AddressSpace {
+	return vm.NewAddressSpace(p.PageShift, p.Seed, p.Scatter)
+}
+
+// elemAddr returns the address of element idx (elemSize bytes) in region r.
+func elemAddr(r vm.Region, idx, elemSize int) vm.Addr {
+	a := r.Base + vm.Addr(uint64(idx)*uint64(elemSize))
+	if a >= r.End() {
+		panic(fmt.Sprintf("workloads: element %d of %q out of range", idx, r.Name))
+	}
+	return a
+}
+
+// warpRead builds a coalesced warp access: the 32 lanes read consecutive
+// elements of r starting at element base.
+func warpRead(r vm.Region, base, elemSize int) trace.Inst {
+	addrs := make([]vm.Addr, arch.WarpSize)
+	for l := range addrs {
+		addrs[l] = elemAddr(r, base+l, elemSize)
+	}
+	return trace.Inst{Addrs: addrs}
+}
+
+// warpGather builds a scattered warp access: lane l reads element idx[l].
+// len(idx) may be below WarpSize (inactive lanes are simply absent).
+func warpGather(r vm.Region, idx []int32, elemSize int) trace.Inst {
+	addrs := make([]vm.Addr, len(idx))
+	for l, i := range idx {
+		addrs[l] = elemAddr(r, int(i), elemSize)
+	}
+	return trace.Inst{Addrs: addrs}
+}
+
+// compute models n cycles of ALU work.
+func compute(n int) trace.Inst { return trace.Inst{Compute: n} }
+
+// uniquePages counts the distinct pages a kernel touches — used by tests and
+// the Table II report.
+func uniquePages(k *trace.Kernel, pageShift uint) int {
+	seen := make(map[vm.VPN]struct{})
+	for _, tb := range k.TBs {
+		for _, w := range tb.Warps {
+			for _, in := range w.Insts {
+				for _, a := range in.Addrs {
+					seen[vm.VPN(a>>pageShift)] = struct{}{}
+				}
+			}
+		}
+	}
+	return len(seen)
+}
+
+// UniquePages is the exported counterpart of uniquePages.
+func UniquePages(k *trace.Kernel, pageShift uint) int { return uniquePages(k, pageShift) }
+
+// SortedTBSizes returns the per-TB memory-instruction counts, descending —
+// a quick imbalance indicator used in tests.
+func SortedTBSizes(k *trace.Kernel) []int {
+	sizes := make([]int, len(k.TBs))
+	for i, tb := range k.TBs {
+		n := 0
+		for _, w := range tb.Warps {
+			for _, in := range w.Insts {
+				if in.IsMem() {
+					n++
+				}
+			}
+		}
+		sizes[i] = n
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	return sizes
+}
