@@ -1,0 +1,30 @@
+# gputlb — build and test entry points.
+#
+#   make            vet + build + test (the tier-1 gate)
+#   make test-race  full suite under the race detector
+#   make bench      regenerate every figure at experiment scale
+#   make fuzz       a short decoder fuzz run
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench fuzz
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+fuzz:
+	$(GO) test -fuzz FuzzReadKernel -fuzztime 10s ./internal/trace/

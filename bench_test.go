@@ -129,6 +129,29 @@ func BenchmarkFig6IsolatedDistance(b *testing.B) {
 	}
 }
 
+// BenchmarkEvalSequential and BenchmarkEvalParallel run the same Figure
+// 10/11 grid with the worker pool pinned to one worker vs GOMAXPROCS; their
+// ratio is the sweep engine's speedup on a multi-workload grid.
+func BenchmarkEvalSequential(b *testing.B) {
+	opt := benchOptions()
+	opt.Parallelism = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := gputlb.Eval(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalParallel(b *testing.B) {
+	opt := benchOptions()
+	opt.Parallelism = 0 // runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		if _, err := gputlb.Eval(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchEval runs the four-configuration evaluation shared by Figures 10/11.
 func benchEval(b *testing.B) []gputlb.EvalRow {
 	b.Helper()

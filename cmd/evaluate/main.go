@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 
 	"gputlb"
@@ -27,17 +28,19 @@ func main() {
 	log.SetPrefix("evaluate: ")
 
 	var (
-		fig     = flag.String("fig", "all", "what to produce: 10 | 11 | 12 | hugepage | ablations | warp | balance | seeds | all")
-		bench   = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
-		scale   = flag.Float64("scale", 1.0, "workload scale factor")
-		seed    = flag.Int64("seed", 1, "workload generation seed")
-		jsonOut = flag.Bool("json", false, "emit the row structs as JSON instead of tables")
+		fig      = flag.String("fig", "all", "what to produce: 10 | 11 | 12 | hugepage | ablations | warp | balance | seeds | all")
+		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		seed     = flag.Int64("seed", 1, "workload generation seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells (results are identical at any value)")
+		jsonOut  = flag.Bool("json", false, "emit the row structs as JSON instead of tables")
 	)
 	flag.Parse()
 
 	opt := gputlb.DefaultExperimentOptions()
 	opt.Params.Scale = *scale
 	opt.Params.Seed = *seed
+	opt.Parallelism = *parallel
 	if *bench != "" {
 		opt.Benchmarks = strings.Split(*bench, ",")
 	}

@@ -14,6 +14,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
 
 	"gputlb"
 )
@@ -23,9 +24,10 @@ func main() {
 	log.SetPrefix("report: ")
 
 	var (
-		out   = flag.String("o", "", "output file (default stdout)")
-		scale = flag.Float64("scale", 1.0, "workload scale factor")
-		seed  = flag.Int64("seed", 1, "workload generation seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		seed     = flag.Int64("seed", 1, "workload generation seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells (results are identical at any value)")
 	)
 	flag.Parse()
 
@@ -42,6 +44,7 @@ func main() {
 	opt := gputlb.DefaultExperimentOptions()
 	opt.Params.Scale = *scale
 	opt.Params.Seed = *seed
+	opt.Parallelism = *parallel
 
 	section := func(s string) {
 		if _, err := fmt.Fprintln(w, s); err != nil {

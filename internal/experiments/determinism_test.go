@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEvalDeterministicAcrossParallelism is the core correctness guarantee
+// of the sweep engine: every simulation cell is a pure function of its
+// (spec, params, config) inputs, so a parallel Eval must be bit-identical
+// to a sequential one, and two same-seed sequential runs must agree.
+func TestEvalDeterministicAcrossParallelism(t *testing.T) {
+	opt := smallOpt()
+
+	opt.Parallelism = 1
+	seq1, err := Eval(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq2, err := Eval(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq1, seq2) {
+		t.Fatalf("two same-seed sequential runs differ:\n%+v\n%+v", seq1, seq2)
+	}
+
+	opt.Parallelism = 8
+	par, err := Eval(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq1, par) {
+		t.Fatalf("parallel Eval differs from sequential:\nseq: %+v\npar: %+v", seq1, par)
+	}
+}
+
+// TestEvalProgressCoversEveryCell: the progress callback reports every cell
+// of the grid exactly once (2 benchmarks x 4 configs in smallOpt).
+func TestEvalProgressCoversEveryCell(t *testing.T) {
+	opt := smallOpt()
+	opt.Parallelism = 4
+	var calls atomic.Int64
+	wantTotal := len(opt.Benchmarks) * 4
+	opt.Progress = func(done, total int) {
+		calls.Add(1)
+		if total != wantTotal {
+			t.Errorf("progress total = %d, want %d", total, wantTotal)
+		}
+	}
+	if _, err := Eval(opt); err != nil {
+		t.Fatal(err)
+	}
+	if int(calls.Load()) != wantTotal {
+		t.Errorf("progress called %d times, want %d", calls.Load(), wantTotal)
+	}
+}
+
+// TestEvalHonorsCancelledContext: a pre-cancelled context aborts the sweep
+// with the cancellation error instead of running the grid.
+func TestEvalHonorsCancelledContext(t *testing.T) {
+	opt := smallOpt()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt.Context = ctx
+	if _, err := Eval(opt); err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+}

@@ -9,11 +9,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"gputlb/internal/arch"
 	"gputlb/internal/chars"
 	"gputlb/internal/metrics"
+	"gputlb/internal/parallel"
 	"gputlb/internal/sim"
 	"gputlb/internal/workloads"
 )
@@ -27,6 +29,17 @@ type Options struct {
 	Benchmarks []string
 	// MaxTBsForPairs caps the exhaustive TB-pair computation of Figure 3.
 	MaxTBsForPairs int
+	// Parallelism bounds how many simulation cells of a grid run
+	// concurrently. Zero or negative means runtime.GOMAXPROCS(0); one
+	// forces a sequential sweep. Every cell is a pure function of its
+	// (spec, params, config) inputs, so results are bit-identical at any
+	// parallelism level.
+	Parallelism int
+	// Progress, when non-nil, is called after each simulation cell of a
+	// sweep finishes with (done, total). Calls are serialized.
+	Progress func(done, total int)
+	// Context cancels an in-flight sweep; nil means context.Background().
+	Context context.Context
 }
 
 // DefaultOptions returns experiment-scale settings.
@@ -86,6 +99,56 @@ func run(s workloads.Spec, p workloads.Params, cfg arch.Config) (sim.Result, err
 	return sim.Run(cfg, k, as)
 }
 
+// ------------------------------------------------------------- sweep engine
+
+func (o Options) pool() parallel.Options {
+	return parallel.Options{Workers: o.Parallelism, Progress: o.Progress}
+}
+
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+// simCell is one independent simulation of a grid-shaped experiment: a
+// workload spec under one configuration variant.
+type simCell struct {
+	spec   workloads.Spec
+	label  string // config variant, for error context
+	params workloads.Params
+	cfg    arch.Config
+}
+
+// runCells executes the cells through the bounded worker pool and returns
+// their results in input order. A failed cell reports its workload and
+// config variant; the other cells still run.
+func (o Options) runCells(cells []simCell) ([]sim.Result, error) {
+	return parallel.Map(o.ctx(), o.pool(), len(cells),
+		func(_ context.Context, i int) (sim.Result, error) {
+			c := cells[i]
+			r, err := run(c.spec, c.params, c.cfg)
+			if err != nil {
+				return sim.Result{}, fmt.Errorf("%s [%s]: %w", c.spec.Name, c.label, err)
+			}
+			return r, nil
+		})
+}
+
+// mapSpecs runs fn once per spec through the pool, preserving spec order.
+func mapSpecs[T any](o Options, specs []workloads.Spec, fn func(workloads.Spec) (T, error)) ([]T, error) {
+	return parallel.Map(o.ctx(), o.pool(), len(specs),
+		func(_ context.Context, i int) (T, error) {
+			r, err := fn(specs[i])
+			if err != nil {
+				var zero T
+				return zero, fmt.Errorf("%s: %w", specs[i].Name, err)
+			}
+			return r, nil
+		})
+}
+
 // ---------------------------------------------------------------- Table II
 
 // Table2Row is one benchmark of the suite with its paper-reported footprint
@@ -105,19 +168,17 @@ func Table2(opt Options) ([]Table2Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []Table2Row
-	for _, s := range specs {
+	return mapSpecs(opt, specs, func(s workloads.Spec) (Table2Row, error) {
 		k, as := s.Build(opt.Params)
-		rows = append(rows, Table2Row{
+		return Table2Row{
 			Name: s.Name, Suite: s.Suite, Input: s.Input,
 			PaperFootprintGB:  s.PaperFootprintGB,
 			ScaledFootprintMB: float64(workloads.FootprintBytes(as)) / (1 << 20),
 			TBs:               len(k.TBs),
 			MemInsts:          k.MemInsts(),
 			UniquePages:       workloads.UniquePages(k, opt.Params.PageShift),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderTable2 formats Table II.
@@ -147,19 +208,21 @@ func Fig2(opt Options) ([]Fig2Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig2Row
+	big := BaselineConfig()
+	big.L1TLB.Entries = 256
+	var cells []simCell
 	for _, s := range specs {
-		small, err := run(s, opt.Params, BaselineConfig())
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
-		}
-		cfg := BaselineConfig()
-		cfg.L1TLB.Entries = 256
-		big, err := run(s, opt.Params, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
-		}
-		rows = append(rows, Fig2Row{s.Name, small.L1TLBHitRate, big.L1TLBHitRate})
+		cells = append(cells,
+			simCell{s, "64-entry", opt.Params, BaselineConfig()},
+			simCell{s, "256-entry", opt.Params, big})
+	}
+	res, err := opt.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig2Row, len(specs))
+	for i, s := range specs {
+		rows[i] = Fig2Row{s.Name, res[2*i].L1TLBHitRate, res[2*i+1].L1TLBHitRate}
 	}
 	return rows, nil
 }
@@ -187,12 +250,10 @@ func Fig3(opt Options) ([]BinsRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []BinsRow
-	for _, s := range specs {
+	return mapSpecs(opt, specs, func(s workloads.Spec) (BinsRow, error) {
 		k, _ := s.Build(opt.Params)
-		rows = append(rows, BinsRow{s.Name, chars.InterTB(k, opt.Params.PageShift, opt.MaxTBsForPairs)})
-	}
-	return rows, nil
+		return BinsRow{s.Name, chars.InterTB(k, opt.Params.PageShift, opt.MaxTBsForPairs)}, nil
+	})
 }
 
 // Fig4 computes intra-TB reuse-intensity bins.
@@ -201,12 +262,10 @@ func Fig4(opt Options) ([]BinsRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []BinsRow
-	for _, s := range specs {
+	return mapSpecs(opt, specs, func(s workloads.Spec) (BinsRow, error) {
 		k, _ := s.Build(opt.Params)
-		rows = append(rows, BinsRow{s.Name, chars.IntraTB(k, opt.Params.PageShift)})
-	}
-	return rows, nil
+		return BinsRow{s.Name, chars.IntraTB(k, opt.Params.PageShift)}, nil
+	})
 }
 
 // RenderBins formats a Figure 3/4-style bin table.
@@ -236,14 +295,12 @@ func Fig5(opt Options) ([]CDFRow, error) {
 		return nil, err
 	}
 	cfg := BaselineConfig()
-	var rows []CDFRow
-	for _, s := range specs {
+	return mapSpecs(opt, specs, func(s workloads.Spec) (CDFRow, error) {
 		k, _ := s.Build(opt.Params)
 		slots := k.ConcurrentTBsPerSM(cfg)
-		rows = append(rows, CDFRow{s.Name,
-			chars.InterleavedReuseDistance(k, opt.Params.PageShift, cfg.NumSMs, slots)})
-	}
-	return rows, nil
+		return CDFRow{s.Name,
+			chars.InterleavedReuseDistance(k, opt.Params.PageShift, cfg.NumSMs, slots)}, nil
+	})
 }
 
 // Fig6 computes the intra-TB reuse-distance CDF running one TB at a time.
@@ -252,12 +309,10 @@ func Fig6(opt Options) ([]CDFRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []CDFRow
-	for _, s := range specs {
+	return mapSpecs(opt, specs, func(s workloads.Spec) (CDFRow, error) {
 		k, _ := s.Build(opt.Params)
-		rows = append(rows, CDFRow{s.Name, chars.IsolatedReuseDistance(k, opt.Params.PageShift)})
-	}
-	return rows, nil
+		return CDFRow{s.Name, chars.IsolatedReuseDistance(k, opt.Params.PageShift)}, nil
+	})
 }
 
 // RenderCDF formats a Figure 5/6-style table: CDF values at powers of two,
@@ -301,27 +356,39 @@ func Eval(opt Options) ([]EvalRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []EvalRow
+	grid := []struct {
+		label string
+		cfg   arch.Config
+	}{
+		{"baseline", BaselineConfig()},
+		{"sched", SchedConfig()},
+		{"sched+part", PartConfig()},
+		{"sched+part+share", ShareConfig()},
+	}
+	var cells []simCell
 	for _, s := range specs {
-		row := EvalRow{Bench: s.Name}
-		for _, c := range []struct {
-			cfg    arch.Config
-			hit    *float64
-			cycles *int64
-		}{
-			{BaselineConfig(), &row.HitBase, &row.CyclesBase},
-			{SchedConfig(), &row.HitSched, &row.CyclesSched},
-			{PartConfig(), &row.HitPart, &row.CyclesPart},
-			{ShareConfig(), &row.HitShare, &row.CyclesShare},
-		} {
-			r, err := run(s, opt.Params, c.cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", s.Name, err)
-			}
-			*c.hit = r.L1TLBHitRate
-			*c.cycles = int64(r.Cycles)
+		for _, g := range grid {
+			cells = append(cells, simCell{s, g.label, opt.Params, g.cfg})
 		}
-		rows = append(rows, row)
+	}
+	res, err := opt.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]EvalRow, len(specs))
+	for i, s := range specs {
+		b, sc, pa, sh := res[4*i], res[4*i+1], res[4*i+2], res[4*i+3]
+		rows[i] = EvalRow{
+			Bench:       s.Name,
+			HitBase:     b.L1TLBHitRate,
+			HitSched:    sc.L1TLBHitRate,
+			HitPart:     pa.L1TLBHitRate,
+			HitShare:    sh.L1TLBHitRate,
+			CyclesBase:  int64(b.Cycles),
+			CyclesSched: int64(sc.Cycles),
+			CyclesPart:  int64(pa.Cycles),
+			CyclesShare: int64(sh.Cycles),
+		}
 	}
 	return rows, nil
 }
@@ -376,26 +443,29 @@ func Fig12(opt Options) ([]Fig12Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig12Row
+	comp := BaselineConfig()
+	comp.TLBCompression = true
+	ours := ShareConfig()
+	ours.TLBCompression = true
+	var cells []simCell
 	for _, s := range specs {
-		comp := BaselineConfig()
-		comp.TLBCompression = true
-		base, err := run(s, opt.Params, comp)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
-		}
-		ours := ShareConfig()
-		ours.TLBCompression = true
-		combined, err := run(s, opt.Params, ours)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
-		}
-		rows = append(rows, Fig12Row{
+		cells = append(cells,
+			simCell{s, "compression", opt.Params, comp},
+			simCell{s, "ours+compression", opt.Params, ours})
+	}
+	res, err := opt.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig12Row, len(specs))
+	for i, s := range specs {
+		base, combined := res[2*i], res[2*i+1]
+		rows[i] = Fig12Row{
 			Bench:           s.Name,
 			Speedup:         float64(base.Cycles) / float64(combined.Cycles),
 			HitCompress:     base.L1TLBHitRate,
 			HitOursCompress: combined.L1TLBHitRate,
-		})
+		}
 	}
 	return rows, nil
 }
@@ -433,30 +503,30 @@ func HugePages(opt Options) ([]HugePageRow, error) {
 	}
 	p2m := opt.Params
 	p2m.PageShift = 21
-	var rows []HugePageRow
+	cfg2m := BaselineConfig()
+	cfg2m.PageSize = arch.PageSize2M
+	ours2m := ShareConfig()
+	ours2m.PageSize = arch.PageSize2M
+	var cells []simCell
 	for _, s := range specs {
-		r4, err := run(s, opt.Params, BaselineConfig())
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
-		}
-		cfg2m := BaselineConfig()
-		cfg2m.PageSize = arch.PageSize2M
-		r2, err := run(s, p2m, cfg2m)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
-		}
-		ours2m := ShareConfig()
-		ours2m.PageSize = arch.PageSize2M
-		ro, err := run(s, p2m, ours2m)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
-		}
-		rows = append(rows, HugePageRow{
+		cells = append(cells,
+			simCell{s, "baseline-4K", opt.Params, BaselineConfig()},
+			simCell{s, "baseline-2M", p2m, cfg2m},
+			simCell{s, "ours-2M", p2m, ours2m})
+	}
+	res, err := opt.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]HugePageRow, len(specs))
+	for i, s := range specs {
+		r4, r2, ro := res[3*i], res[3*i+1], res[3*i+2]
+		rows[i] = HugePageRow{
 			Bench:         s.Name,
 			Hit4K:         r4.L1TLBHitRate,
 			Hit2M:         r2.L1TLBHitRate,
 			SpeedupOurs2M: float64(r2.Cycles) / float64(ro.Cycles),
-		})
+		}
 	}
 	return rows, nil
 }
@@ -491,28 +561,33 @@ func AblationSharing(opt Options, thresholds []int) ([]AblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []AblationRow
+	// Per spec: the 1-bit reference, one cell per threshold, all-to-all.
+	stride := len(thresholds) + 2
+	var cells []simCell
 	for _, s := range specs {
-		ref, err := run(s, opt.Params, ShareConfig())
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
-		}
+		cells = append(cells, simCell{s, "reference", opt.Params, ShareConfig()})
 		for _, th := range thresholds {
 			cfg := ShareConfig()
 			cfg.ShareCounterThreshold = th
-			r, err := run(s, opt.Params, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", s.Name, err)
-			}
-			rows = append(rows, AblationRow{s.Name, fmt.Sprintf("counter>=%d", th),
-				float64(r.Cycles) / float64(ref.Cycles), r.L1TLBHitRate})
+			cells = append(cells, simCell{s, fmt.Sprintf("counter>=%d", th), opt.Params, cfg})
 		}
 		cfg := ShareConfig()
 		cfg.SharingMode = arch.ShareAllToAll
-		r, err := run(s, opt.Params, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		cells = append(cells, simCell{s, "all-to-all", opt.Params, cfg})
+	}
+	res, err := opt.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for i, s := range specs {
+		ref := res[i*stride]
+		for j, th := range thresholds {
+			r := res[i*stride+1+j]
+			rows = append(rows, AblationRow{s.Name, fmt.Sprintf("counter>=%d", th),
+				float64(r.Cycles) / float64(ref.Cycles), r.L1TLBHitRate})
 		}
+		r := res[(i+1)*stride-1]
 		rows = append(rows, AblationRow{s.Name, "all-to-all",
 			float64(r.Cycles) / float64(ref.Cycles), r.L1TLBHitRate})
 	}
@@ -526,19 +601,25 @@ func AblationThrottle(opt Options, caps []int) ([]AblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []AblationRow
+	stride := len(caps) + 1
+	var cells []simCell
 	for _, s := range specs {
-		ref, err := run(s, opt.Params, ShareConfig())
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
-		}
+		cells = append(cells, simCell{s, "reference", opt.Params, ShareConfig()})
 		for _, cap := range caps {
 			cfg := ShareConfig()
 			cfg.ThrottleTBsPerSM = cap
-			r, err := run(s, opt.Params, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", s.Name, err)
-			}
+			cells = append(cells, simCell{s, fmt.Sprintf("throttle=%d", cap), opt.Params, cfg})
+		}
+	}
+	res, err := opt.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for i, s := range specs {
+		ref := res[i*stride]
+		for j, cap := range caps {
+			r := res[i*stride+1+j]
 			rows = append(rows, AblationRow{s.Name, fmt.Sprintf("throttle=%d", cap),
 				float64(r.Cycles) / float64(ref.Cycles), r.L1TLBHitRate})
 		}
@@ -562,12 +643,10 @@ func WarpReuse(opt Options) ([]BinsRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []BinsRow
-	for _, s := range specs {
+	return mapSpecs(opt, specs, func(s workloads.Spec) (BinsRow, error) {
 		k, _ := s.Build(opt.Params)
-		rows = append(rows, BinsRow{s.Name, chars.IntraWarp(k, opt.Params.PageShift)})
-	}
-	return rows, nil
+		return BinsRow{s.Name, chars.IntraWarp(k, opt.Params.PageShift)}, nil
+	})
 }
 
 // Table3 renders the baseline configuration.
@@ -583,19 +662,26 @@ func AblationWarpSched(opt Options) ([]AblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []AblationRow
+	policies := []arch.WarpSchedulerPolicy{arch.WarpLRR, arch.WarpTransAware}
+	stride := len(policies) + 1
+	var cells []simCell
 	for _, s := range specs {
-		ref, err := run(s, opt.Params, ShareConfig())
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
-		}
-		for _, pol := range []arch.WarpSchedulerPolicy{arch.WarpLRR, arch.WarpTransAware} {
+		cells = append(cells, simCell{s, "reference", opt.Params, ShareConfig()})
+		for _, pol := range policies {
 			cfg := ShareConfig()
 			cfg.WarpScheduler = pol
-			r, err := run(s, opt.Params, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", s.Name, err)
-			}
+			cells = append(cells, simCell{s, pol.String(), opt.Params, cfg})
+		}
+	}
+	res, err := opt.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for i, s := range specs {
+		ref := res[i*stride]
+		for j, pol := range policies {
+			r := res[i*stride+1+j]
 			rows = append(rows, AblationRow{s.Name, pol.String(),
 				float64(r.Cycles) / float64(ref.Cycles), r.L1TLBHitRate})
 		}
@@ -610,22 +696,29 @@ func AblationPWC(opt Options, entries int) ([]AblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []AblationRow
+	bases := []struct {
+		name string
+		cfg  arch.Config
+	}{{"baseline", BaselineConfig()}, {"proposal", ShareConfig()}}
+	// Per spec: (ref, ref+pwc) for each base configuration.
+	var cells []simCell
 	for _, s := range specs {
-		for _, base := range []struct {
-			name string
-			cfg  arch.Config
-		}{{"baseline", BaselineConfig()}, {"proposal", ShareConfig()}} {
-			ref, err := run(s, opt.Params, base.cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", s.Name, err)
-			}
+		for _, base := range bases {
 			cfg := base.cfg
 			cfg.PWCEntries = entries
-			r, err := run(s, opt.Params, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", s.Name, err)
-			}
+			cells = append(cells,
+				simCell{s, base.name, opt.Params, base.cfg},
+				simCell{s, base.name + "+pwc", opt.Params, cfg})
+		}
+	}
+	res, err := opt.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for i, s := range specs {
+		for j, base := range bases {
+			ref, r := res[4*i+2*j], res[4*i+2*j+1]
 			rows = append(rows, AblationRow{s.Name, base.name + "+pwc",
 				float64(r.Cycles) / float64(ref.Cycles), r.L1TLBHitRate})
 		}
@@ -640,19 +733,26 @@ func AblationReplacement(opt Options) ([]AblationRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []AblationRow
+	policies := []arch.TLBReplacementPolicy{arch.ReplaceFIFO, arch.ReplaceRandom}
+	stride := len(policies) + 1
+	var cells []simCell
 	for _, s := range specs {
-		ref, err := run(s, opt.Params, ShareConfig())
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
-		}
-		for _, pol := range []arch.TLBReplacementPolicy{arch.ReplaceFIFO, arch.ReplaceRandom} {
+		cells = append(cells, simCell{s, "reference", opt.Params, ShareConfig()})
+		for _, pol := range policies {
 			cfg := ShareConfig()
 			cfg.TLBReplacement = pol
-			r, err := run(s, opt.Params, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", s.Name, err)
-			}
+			cells = append(cells, simCell{s, pol.String(), opt.Params, cfg})
+		}
+	}
+	res, err := opt.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for i, s := range specs {
+		ref := res[i*stride]
+		for j, pol := range policies {
+			r := res[i*stride+1+j]
 			rows = append(rows, AblationRow{s.Name, pol.String(),
 				float64(r.Cycles) / float64(ref.Cycles), r.L1TLBHitRate})
 		}
@@ -693,17 +793,19 @@ func SMBalance(opt Options) ([]SMBalanceRow, error) {
 		}
 		return hi - lo
 	}
-	var rows []SMBalanceRow
+	var cells []simCell
 	for _, s := range specs {
-		rr, err := run(s, opt.Params, BaselineConfig())
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
-		}
-		aw, err := run(s, opt.Params, SchedConfig())
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
-		}
-		rows = append(rows, SMBalanceRow{s.Name, spread(rr), spread(aw)})
+		cells = append(cells,
+			simCell{s, "round-robin", opt.Params, BaselineConfig()},
+			simCell{s, "tlb-aware", opt.Params, SchedConfig()})
+	}
+	res, err := opt.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SMBalanceRow, len(specs))
+	for i, s := range specs {
+		rows[i] = SMBalanceRow{s.Name, spread(res[2*i]), spread(res[2*i+1])}
 	}
 	return rows, nil
 }

@@ -1,0 +1,133 @@
+// Package parallel is the bounded worker-pool runner beneath every
+// grid-shaped experiment sweep. A sweep is a list of independent cells —
+// pure functions of their input index — executed concurrently by a fixed
+// number of workers. Results are reassembled in input order, so a parallel
+// run is bit-identical to a sequential one; a failed cell is captured with
+// its index and context instead of aborting the remaining cells, and
+// cancelling the context stops the scheduling of new cells promptly.
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Options configures a Map run.
+type Options struct {
+	// Workers bounds how many cells execute concurrently. Zero or
+	// negative means runtime.GOMAXPROCS(0); one degenerates to a
+	// sequential sweep.
+	Workers int
+	// Progress, when non-nil, is called after each cell finishes with
+	// the number of completed cells and the total. Calls are serialized
+	// and done increases by exactly one per call.
+	Progress func(done, total int)
+}
+
+// CellError records one failed cell of a sweep.
+type CellError struct {
+	Index int   // position of the cell in the input grid
+	Err   error // the cell's error, wrapped with its workload/config context
+}
+
+func (e *CellError) Error() string { return fmt.Sprintf("cell %d: %v", e.Index, e.Err) }
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// Errors aggregates every failed cell of a sweep, ordered by cell index.
+type Errors []*CellError
+
+func (es Errors) Error() string {
+	if len(es) == 1 {
+		return es[0].Error()
+	}
+	return fmt.Sprintf("%d cells failed; first: %v", len(es), es[0])
+}
+
+// Unwrap exposes the individual cell failures to errors.Is and errors.As.
+func (es Errors) Unwrap() []error {
+	out := make([]error, len(es))
+	for i, e := range es {
+		out[i] = e
+	}
+	return out
+}
+
+// Map runs n independent cells through a bounded worker pool and returns
+// their results in input order, regardless of completion order. Every cell
+// runs exactly once unless ctx is cancelled first. A failed cell becomes a
+// CellError and the other cells still run; the aggregate Errors lists every
+// failure ordered by index. On cancellation no new cells are scheduled,
+// in-flight cells drain, and the returned error includes ctx.Err(). When
+// Map returns a non-nil error the result slice is only partially filled
+// (failed or unscheduled cells hold zero values).
+func Map[T any](ctx context.Context, opt Options, n int, cell func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	results := make([]T, n)
+	var (
+		mu    sync.Mutex
+		done  int
+		fails Errors
+		wg    sync.WaitGroup
+	)
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				r, err := cell(ctx, i)
+				mu.Lock()
+				if err != nil {
+					fails = append(fails, &CellError{Index: i, Err: err})
+				} else {
+					results[i] = r
+				}
+				done++
+				if opt.Progress != nil {
+					opt.Progress(done, n)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	sort.Slice(fails, func(a, b int) bool { return fails[a].Index < fails[b].Index })
+	var err error
+	if len(fails) > 0 {
+		err = fails
+	}
+	if cerr := context.Cause(ctx); cerr != nil {
+		if err != nil {
+			err = errors.Join(cerr, err)
+		} else {
+			err = cerr
+		}
+	}
+	return results, err
+}

@@ -1,0 +1,207 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesInputOrder(t *testing.T) {
+	n := 200
+	out, err := Map(context.Background(), Options{Workers: 8}, n,
+		func(_ context.Context, i int) (int, error) {
+			if i%7 == 0 {
+				time.Sleep(time.Duration(i%5) * time.Millisecond)
+			}
+			return i * i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n {
+		t.Fatalf("len = %d, want %d", len(out), n)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	_, err := Map(context.Background(), Options{Workers: workers}, 64,
+		func(_ context.Context, i int) (struct{}, error) {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds worker bound %d", p, workers)
+	}
+}
+
+// TestMapRecordsInterleavings runs a cell function that records its
+// invocation interleavings in shared state; under -race this verifies the
+// pool's synchronization, and afterwards every cell must have run exactly
+// once.
+func TestMapRecordsInterleavings(t *testing.T) {
+	n := 128
+	var (
+		mu     sync.Mutex
+		events []int
+	)
+	_, err := Map(context.Background(), Options{Workers: runtime.GOMAXPROCS(0)}, n,
+		func(_ context.Context, i int) (int, error) {
+			mu.Lock()
+			events = append(events, i)
+			mu.Unlock()
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]int)
+	for _, e := range events {
+		seen[e]++
+	}
+	if len(events) != n {
+		t.Fatalf("recorded %d invocations, want %d", len(events), n)
+	}
+	for i := 0; i < n; i++ {
+		if seen[i] != 1 {
+			t.Errorf("cell %d ran %d times, want exactly once", i, seen[i])
+		}
+	}
+}
+
+func TestMapCapturesCellErrors(t *testing.T) {
+	bad := map[int]bool{3: true, 11: true}
+	out, err := Map(context.Background(), Options{Workers: 4}, 16,
+		func(_ context.Context, i int) (int, error) {
+			if bad[i] {
+				return 0, fmt.Errorf("workload %d [configX]: boom", i)
+			}
+			return i + 1, nil
+		})
+	if err == nil {
+		t.Fatal("expected aggregate error")
+	}
+	var es Errors
+	if !errors.As(err, &es) {
+		t.Fatalf("error %T does not expose Errors", err)
+	}
+	if len(es) != 2 || es[0].Index != 3 || es[1].Index != 11 {
+		t.Fatalf("failures = %+v, want indices 3 and 11 in order", es)
+	}
+	for _, e := range es {
+		if e.Err == nil || e.Error() == "" {
+			t.Errorf("cell error missing context: %+v", e)
+		}
+	}
+	// The sweep did not abort: every healthy cell still produced its result.
+	for i, v := range out {
+		if bad[i] {
+			continue
+		}
+		if v != i+1 {
+			t.Errorf("out[%d] = %d, want %d (healthy cells must complete)", i, v, i+1)
+		}
+	}
+}
+
+func TestMapCancellationStopsSchedulingPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	n := 10000
+	_, err := Map(ctx, Options{
+		Workers: 2,
+		Progress: func(done, total int) {
+			if done == 5 {
+				cancel()
+			}
+		},
+	}, n, func(_ context.Context, i int) (int, error) {
+		started.Add(1)
+		time.Sleep(100 * time.Microsecond)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// At most the cells dispatched before the cancel plus one queued per
+	// worker may run; with 2 workers and a cancel at 5 completions the
+	// count must stay far below n.
+	if s := started.Load(); s >= int64(n)/10 {
+		t.Errorf("%d cells started after cancellation, want prompt stop", s)
+	}
+}
+
+func TestMapProgressMonotonic(t *testing.T) {
+	n := 50
+	var calls []int
+	_, err := Map(context.Background(), Options{
+		Workers: 8,
+		// Progress calls are serialized by the pool; appending without
+		// extra locking is safe and -race enforces it.
+		Progress: func(done, total int) {
+			if total != n {
+				t.Errorf("total = %d, want %d", total, n)
+			}
+			calls = append(calls, done)
+		},
+	}, n, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != n {
+		t.Fatalf("progress called %d times, want %d", len(calls), n)
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress[%d] = %d, want %d", i, d, i+1)
+		}
+	}
+}
+
+func TestMapZeroCells(t *testing.T) {
+	out, err := Map(context.Background(), Options{}, 0,
+		func(_ context.Context, i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("zero-cell sweep: out=%v err=%v", out, err)
+	}
+}
+
+func TestMapNilContextAndDefaultWorkers(t *testing.T) {
+	out, err := Map(nil, Options{}, 5, //lint:ignore SA1012 nil means Background by contract
+		func(ctx context.Context, i int) (int, error) {
+			if ctx == nil {
+				return 0, errors.New("nil ctx passed to cell")
+			}
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}

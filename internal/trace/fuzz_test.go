@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// FuzzReadKernel feeds the decoder arbitrary bytes: it must never panic,
+// and any input it accepts must round-trip stably through the current
+// encoder — decode, re-encode, re-decode must yield an identical kernel.
+func FuzzReadKernel(f *testing.F) {
+	if golden, err := os.ReadFile("testdata/golden.trace"); err == nil {
+		f.Add(golden)
+	}
+	var valid bytes.Buffer
+	if err := WriteKernel(&valid, randomKernel(3)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(traceMagic))
+	f.Add([]byte(traceMagicV2 + "\x00"))
+	f.Add([]byte("NOTATRACE"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, err := ReadKernel(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteKernel(&buf, k); err != nil {
+			t.Fatalf("accepted kernel fails to re-encode: %v", err)
+		}
+		k2, err := ReadKernel(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded kernel fails to decode: %v", err)
+		}
+		if !kernelsEqual(k, k2) {
+			t.Fatalf("round trip unstable:\nfirst:  %+v\nsecond: %+v", k, k2)
+		}
+	})
+}

@@ -12,20 +12,37 @@ import (
 // Binary trace format: a compact varint encoding so kernels can be exported,
 // archived and re-run (or imported from external tracers). Memory
 // instructions delta-encode lane addresses, which compresses the common
-// coalesced case to about one byte per lane.
+// coalesced case to about one byte per lane. Two on-disk versions exist,
+// distinguished by the last magic byte:
 //
-//	magic "GPUTLBT1"
+//	magic "GPUTLBT2" (current; what WriteKernel emits)
 //	name, threadsPerTB, regsPerThread, sharedMemPerTB
 //	phaseStarts
 //	TBs: id, warps: insts: kind (0=compute, 1=mem),
-//	     compute cycles | lane count + first addr + deltas
+//	     compute cycles | lane count + first addr + byte deltas
+//
+//	magic "GPUTLBT1" (archived; read-only)
+//	identical structure, but sharedMemPerTB and each mem instruction's
+//	first lane address are stored scaled down to 128-byte cache-line
+//	units, and a negative lane delta -n means "n lines forward, landing
+//	on the line start" rather than a backward byte delta. The original
+//	tracer divided by the line size without shifting back on read — the
+//	scale bug the golden test pinned — so ReadKernel undoes the scaling
+//	for v1 inputs while v2 stores every value byte-exact.
 
-const traceMagic = "GPUTLBT1"
+const (
+	tracePrefix  = "GPUTLBT"
+	traceMagic   = tracePrefix + "1" // archived line-unit format (read-only)
+	traceMagicV2 = tracePrefix + "2" // current byte-exact format
+
+	// v1LineShift is the log2 line size of the archived format's units.
+	v1LineShift = 7
+)
 
 // WriteKernel serializes k to w in the binary trace format.
 func WriteKernel(w io.Writer, k *Kernel) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(traceMagic); err != nil {
+	if _, err := bw.WriteString(traceMagicV2); err != nil {
 		return err
 	}
 	writeUvarint(bw, uint64(len(k.Name)))
@@ -66,14 +83,21 @@ func WriteKernel(w io.Writer, k *Kernel) error {
 	return bw.Flush()
 }
 
-// ReadKernel deserializes a kernel written by WriteKernel.
+// ReadKernel deserializes a kernel written by WriteKernel. It accepts both
+// the current v2 encoding and archived v1 traces, undoing the v1 format's
+// 128-byte-line scaling so archived kernels decode to byte addresses.
 func ReadKernel(r io.Reader) (*Kernel, error) {
 	br := bufio.NewReader(r)
-	magic := make([]byte, len(traceMagic))
+	magic := make([]byte, len(traceMagicV2))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if string(magic) != traceMagic {
+	var v1 bool
+	switch string(magic) {
+	case traceMagic:
+		v1 = true
+	case traceMagicV2:
+	default:
 		return nil, fmt.Errorf("trace: bad magic %q", magic)
 	}
 	k := &Kernel{}
@@ -96,6 +120,10 @@ func ReadKernel(r io.Reader) (*Kernel, error) {
 			return nil, err
 		}
 		*f = int(v)
+	}
+	if v1 {
+		// v1 stored shared memory in 128-byte allocation units.
+		k.SharedMemPerTB <<= v1LineShift
 	}
 	nPhases, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -154,13 +182,25 @@ func ReadKernel(r io.Reader) (*Kernel, error) {
 					if err != nil {
 						return nil, err
 					}
-					addrs[0] = vm.Addr(first)
+					if v1 {
+						// v1 stored the first lane as its line number.
+						addrs[0] = vm.Addr(first) << v1LineShift
+					} else {
+						addrs[0] = vm.Addr(first)
+					}
 					for l := uint64(1); l < lanes; l++ {
 						d, err := binary.ReadVarint(br)
 						if err != nil {
 							return nil, err
 						}
-						addrs[l] = vm.Addr(int64(addrs[l-1]) + d)
+						prev := addrs[l-1]
+						if v1 && d < 0 {
+							// v1 negative delta: jump |d| lines forward,
+							// landing on the line start.
+							addrs[l] = ((prev >> v1LineShift) + vm.Addr(-d)) << v1LineShift
+						} else {
+							addrs[l] = vm.Addr(int64(prev) + d)
+						}
 					}
 					wt.Insts = append(wt.Insts, Inst{Addrs: addrs})
 				default:
