@@ -1,13 +1,17 @@
 # gputlb — build and test entry points.
 #
 #   make            vet + build + test (the tier-1 gate)
+#   make ci         everything CI runs: vet, build, race-detector suite,
+#                   and the decoder fuzz seed corpus
 #   make test-race  full suite under the race detector
 #   make bench      regenerate every figure at experiment scale
 #   make fuzz       a short decoder fuzz run
+#   make golden     refresh the golden stats snapshot after an intentional
+#                   timing-model change (inspect the diff before committing)
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench fuzz
+.PHONY: all build vet test test-race bench fuzz fuzz-seeds golden ci
 
 all: vet build test
 
@@ -28,3 +32,13 @@ bench:
 
 fuzz:
 	$(GO) test -fuzz FuzzReadKernel -fuzztime 10s ./internal/trace/
+
+# fuzz-seeds replays only the checked-in seed corpus (no mutation budget),
+# which is deterministic and fast enough for every CI run.
+fuzz-seeds:
+	$(GO) test -run FuzzReadKernel ./internal/trace/
+
+golden:
+	$(GO) test ./internal/experiments -run TestGoldenStats -update
+
+ci: vet build test-race fuzz-seeds

@@ -18,6 +18,17 @@ func benchOptions() gputlb.ExperimentOptions {
 	return gputlb.DefaultExperimentOptions()
 }
 
+// benchGeomean unwraps metrics.Geomean for b.ReportMetric; normalized times
+// are always positive, so an error means the run itself is broken.
+func benchGeomean(b *testing.B, xs []float64) float64 {
+	b.Helper()
+	g, err := metrics.Geomean(xs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
 // BenchmarkTable2Workloads regenerates Table II (benchmark construction).
 func BenchmarkTable2Workloads(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -193,9 +204,9 @@ func BenchmarkFig11ExecTime(b *testing.B) {
 				part = append(part, r.NormPart())
 				share = append(share, r.NormShare())
 			}
-			b.ReportMetric(metrics.Geomean(sched), "geomean-sched")
-			b.ReportMetric(metrics.Geomean(part), "geomean-sched+part")
-			b.ReportMetric(metrics.Geomean(share), "geomean-sched+part+share")
+			b.ReportMetric(benchGeomean(b, sched), "geomean-sched")
+			b.ReportMetric(benchGeomean(b, part), "geomean-sched+part")
+			b.ReportMetric(benchGeomean(b, share), "geomean-sched+part+share")
 		}
 	}
 }
@@ -214,7 +225,7 @@ func BenchmarkFig12Compression(b *testing.B) {
 			for _, r := range rows {
 				sp = append(sp, r.Speedup)
 			}
-			b.ReportMetric(metrics.Geomean(sp), "geomean-speedup-over-compression")
+			b.ReportMetric(benchGeomean(b, sp), "geomean-speedup-over-compression")
 		}
 	}
 }
@@ -233,7 +244,7 @@ func BenchmarkHugePageStudy(b *testing.B) {
 			for _, r := range rows {
 				sp = append(sp, r.SpeedupOurs2M)
 			}
-			b.ReportMetric(metrics.Geomean(sp), "geomean-speedup-on-2MB")
+			b.ReportMetric(benchGeomean(b, sp), "geomean-speedup-on-2MB")
 		}
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"gputlb"
+	"gputlb/internal/cliutil"
 )
 
 func main() {
@@ -28,14 +29,23 @@ func main() {
 	log.SetPrefix("characterize: ")
 
 	var (
-		fig      = flag.String("fig", "all", "what to produce: table2 | 2 | 3 | 4 | 5 | 6 | all")
-		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
-		scale    = flag.Float64("scale", 1.0, "workload scale factor")
-		seed     = flag.Int64("seed", 1, "workload generation seed")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells (results are identical at any value)")
-		jsonOut  = flag.Bool("json", false, "emit the row structs as JSON instead of tables")
+		fig        = flag.String("fig", "all", "what to produce: table2 | 2 | 3 | 4 | 5 | 6 | all")
+		bench      = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
+		scale      = flag.Float64("scale", 1.0, "workload scale factor")
+		seed       = flag.Int64("seed", 1, "workload generation seed")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells (results are identical at any value)")
+		jsonOut    = flag.Bool("json", false, "emit the row structs as JSON instead of tables")
+		statsOut   = flag.String("stats-out", "", "write every simulated cell's full stats tree to this file (.csv for CSV, else JSON; only Figure 2 simulates)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON of all simulated cells (open in chrome://tracing or Perfetto)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	stopProfiles, err := cliutil.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	opt := gputlb.DefaultExperimentOptions()
 	opt.Params.Scale = *scale
@@ -43,6 +53,12 @@ func main() {
 	opt.Parallelism = *parallel
 	if *bench != "" {
 		opt.Benchmarks = strings.Split(*bench, ",")
+	}
+	if *statsOut != "" {
+		opt.StatsDump = &gputlb.StatsDump{}
+	}
+	if *traceOut != "" {
+		opt.Tracer = gputlb.NewTracer(0)
 	}
 
 	want := func(name string) bool { return *fig == "all" || *fig == name }
@@ -99,5 +115,19 @@ func main() {
 			log.Fatal(err)
 		}
 		emit("fig6", gputlb.RenderCDF("Figure 6 — intra-TB reuse distance CDF, one TB at a time", rows), rows)
+	}
+
+	if *statsOut != "" {
+		if err := cliutil.ExportStatsDump(*statsOut, opt.StatsDump); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		if err := cliutil.ExportTrace(*traceOut, opt.Tracer); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := stopProfiles(); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"gputlb"
+	"gputlb/internal/cliutil"
 )
 
 func main() {
@@ -38,6 +39,10 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit results as JSON")
 		tracePath   = flag.String("trace", "", "replay a binary kernel trace instead of building a benchmark")
 		configPath  = flag.String("config", "", "load the machine configuration from a JSON file")
+		statsOut    = flag.String("stats-out", "", "write the run's full stats tree to this file (.csv for CSV, else JSON)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON of the run (open in chrome://tracing or Perfetto)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 
@@ -87,25 +92,57 @@ func main() {
 		log.Fatalf("unknown page size %q", *pagesize)
 	}
 
-	var res gputlb.Result
-	var err error
+	stopProfiles, err := cliutil.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var k *gputlb.Kernel
+	var as *gputlb.AddressSpace
 	name := *bench
 	if *tracePath != "" {
 		f, ferr := os.Open(*tracePath)
 		if ferr != nil {
 			log.Fatal(ferr)
 		}
-		k, kerr := gputlb.ReadKernelTrace(f)
+		var kerr error
+		k, kerr = gputlb.ReadKernelTrace(f)
 		f.Close()
 		if kerr != nil {
 			log.Fatal(kerr)
 		}
 		name = k.Name + " (trace)"
-		res, err = gputlb.Run(cfg, k, gputlb.NewAddressSpace(p.PageShift, p.Seed))
+		as = gputlb.NewAddressSpace(p.PageShift, p.Seed)
 	} else {
-		res, err = gputlb.Simulate(*bench, p, cfg)
+		var berr error
+		k, as, berr = gputlb.Build(*bench, p)
+		if berr != nil {
+			log.Fatal(berr)
+		}
 	}
+
+	s, err := gputlb.NewSimulator(cfg, k, as)
 	if err != nil {
+		log.Fatal(err)
+	}
+	var tracer *gputlb.Tracer
+	if *traceOut != "" {
+		tracer = gputlb.NewTracer(0)
+		s.SetTracer(tracer, 0)
+	}
+	res := s.Run()
+
+	if *statsOut != "" {
+		if err := cliutil.ExportSnapshot(*statsOut, res.Stats); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		if err := cliutil.ExportTrace(*traceOut, tracer); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := stopProfiles(); err != nil {
 		log.Fatal(err)
 	}
 

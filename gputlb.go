@@ -28,6 +28,7 @@ import (
 	"gputlb/internal/experiments"
 	"gputlb/internal/graph"
 	"gputlb/internal/sim"
+	"gputlb/internal/stats"
 	"gputlb/internal/trace"
 	"gputlb/internal/vm"
 	"gputlb/internal/workloads"
@@ -110,6 +111,47 @@ func Build(name string, p Params) (*Kernel, *AddressSpace, error) {
 func Run(cfg Config, k *Kernel, as *AddressSpace) (Result, error) {
 	return sim.Run(cfg, k, as)
 }
+
+// Observability: every simulation registers its components into a
+// hierarchical stats tree (Result.Stats), and a Simulator accepts an
+// optional event tracer exportable as Chrome trace_event JSON.
+
+// Simulator is one configured simulation run; use it instead of Run when
+// you need to attach a tracer or query the stats registry directly.
+type Simulator = sim.Simulator
+
+// StatsRegistry is the live metric tree a simulation registers into.
+type StatsRegistry = stats.Registry
+
+// StatsSnapshot is a materialized, serializable stats tree.
+type StatsSnapshot = stats.Snapshot
+
+// Tracer is a ring-buffered structured event sink shared by one or more
+// simulations; nil is a valid no-op tracer.
+type Tracer = stats.Tracer
+
+// TraceEvent is one Chrome trace_event record.
+type TraceEvent = stats.Event
+
+// StatsDump collects the stats trees of every cell an experiment sweep
+// runs; see ExperimentOptions.StatsDump.
+type StatsDump = experiments.StatsDump
+
+// StatsRow is one StatsDump entry: (bench, config, stats tree).
+type StatsRow = experiments.StatsRow
+
+// DefaultTraceCapacity is the tracer ring size used for capacity <= 0.
+const DefaultTraceCapacity = stats.DefaultTraceCapacity
+
+// NewSimulator builds a simulator for one run; call SetTracer before Run to
+// capture events, and Registry to inspect metrics.
+func NewSimulator(cfg Config, k *Kernel, as *AddressSpace) (*Simulator, error) {
+	return sim.New(cfg, k, as)
+}
+
+// NewTracer creates an event tracer keeping the most recent capacity events
+// (<= 0 means DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer { return stats.NewTracer(capacity) }
 
 // Simulate builds benchmark name with p and runs it under cfg.
 func Simulate(name string, p Params, cfg Config) (Result, error) {

@@ -6,6 +6,7 @@ package cache
 
 import (
 	"gputlb/internal/arch"
+	"gputlb/internal/stats"
 )
 
 // LineAddr identifies a cache line (byte address >> line shift).
@@ -58,6 +59,17 @@ func (c *Cache) Config() arch.CacheConfig { return c.cfg }
 
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
+
+// RegisterStats registers the cache's counters and rates into r; values are
+// read lazily at snapshot time.
+func (c *Cache) RegisterStats(r *stats.Registry) {
+	r.CounterFunc("accesses", func() int64 { return c.stats.Accesses })
+	r.CounterFunc("hits", func() int64 { return c.stats.Hits })
+	r.CounterFunc("misses", func() int64 { return c.stats.Misses })
+	r.CounterFunc("evictions", func() int64 { return c.stats.Evictions })
+	r.GaugeFunc("hit_rate", func() float64 { return c.stats.HitRate() })
+	r.GaugeFunc("occupancy", func() float64 { return float64(c.Occupancy()) })
+}
 
 // ResetStats zeroes counters without touching contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }

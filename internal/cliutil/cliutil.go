@@ -1,0 +1,94 @@
+// Package cliutil holds the output plumbing shared by the command-line
+// tools: pprof profile capture and stats/trace file export. It keeps the
+// four CLIs' flag handling identical without each reimplementing it.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+
+	"gputlb/internal/experiments"
+	"gputlb/internal/stats"
+)
+
+// StartProfiles begins a CPU profile when cpuPath is non-empty and returns a
+// stop function that finishes it and, when memPath is non-empty, writes a
+// heap profile. stop is always safe to call (including when both paths are
+// empty) and must run before process exit for the profiles to be complete.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ExportStatsDump writes a sweep's collected stats to path: CSV when the
+// file name ends in .csv, indented JSON otherwise.
+func ExportStatsDump(path string, d *experiments.StatsDump) error {
+	if strings.HasSuffix(path, ".csv") {
+		return writeFile(path, d.WriteCSV)
+	}
+	return writeFile(path, d.WriteJSON)
+}
+
+// ExportSnapshot writes a single run's stats tree to path: CSV when the
+// file name ends in .csv, indented JSON otherwise.
+func ExportSnapshot(path string, s *stats.Snapshot) error {
+	if s == nil {
+		return fmt.Errorf("cliutil: no stats snapshot to export")
+	}
+	if strings.HasSuffix(path, ".csv") {
+		return writeFile(path, s.WriteCSV)
+	}
+	return writeFile(path, s.WriteJSON)
+}
+
+// ExportTrace writes the tracer's buffered events as Chrome trace_event
+// JSON for chrome://tracing or Perfetto.
+func ExportTrace(path string, t *stats.Tracer) error {
+	return writeFile(path, t.WriteChromeTrace)
+}

@@ -10,6 +10,7 @@ import (
 	"gputlb/internal/cache"
 	"gputlb/internal/engine"
 	"gputlb/internal/noc"
+	"gputlb/internal/stats"
 )
 
 // Config parameterizes the DRAM model.
@@ -86,3 +87,16 @@ func (d *DRAM) RowHits() int64 { return d.hits }
 
 // RowMisses returns the number of row activations.
 func (d *DRAM) RowMisses() int64 { return d.misses }
+
+// RegisterStats registers the row-buffer counters into r; values are read
+// lazily at snapshot time.
+func (d *DRAM) RegisterStats(r *stats.Registry) {
+	r.CounterFunc("row_hits", func() int64 { return d.hits })
+	r.CounterFunc("row_misses", func() int64 { return d.misses })
+	r.GaugeFunc("row_hit_rate", func() float64 {
+		if total := d.hits + d.misses; total > 0 {
+			return float64(d.hits) / float64(total)
+		}
+		return 0
+	})
+}

@@ -10,13 +10,17 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"sync"
 
 	"gputlb/internal/arch"
 	"gputlb/internal/chars"
 	"gputlb/internal/metrics"
 	"gputlb/internal/parallel"
 	"gputlb/internal/sim"
+	"gputlb/internal/stats"
 	"gputlb/internal/workloads"
 )
 
@@ -40,6 +44,68 @@ type Options struct {
 	Progress func(done, total int)
 	// Context cancels an in-flight sweep; nil means context.Background().
 	Context context.Context
+	// Tracer, when non-nil, receives structured events from every simulation
+	// cell of a sweep; the trace's pid field is the cell index, so cells stay
+	// distinguishable in one merged Chrome trace. Tracing never affects
+	// simulation results.
+	Tracer *stats.Tracer
+	// StatsDump, when non-nil, collects every cell's full stats tree in
+	// deterministic (cell-order) sequence for export.
+	StatsDump *StatsDump
+}
+
+// StatsRow is one simulated cell's identity plus its full stats tree.
+type StatsRow struct {
+	Bench  string          `json:"bench"`
+	Config string          `json:"config"`
+	Stats  *stats.Snapshot `json:"stats"`
+}
+
+// StatsDump accumulates the stats trees of every simulation cell an
+// experiment runs, so the CLIs can export them wholesale. Rows arrive in
+// cell order within each experiment, making dumps reproducible at any
+// parallelism level. Safe for use across concurrent experiment calls.
+type StatsDump struct {
+	mu   sync.Mutex
+	rows []StatsRow
+}
+
+func (d *StatsDump) add(rows ...StatsRow) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rows = append(d.rows, rows...)
+}
+
+// Rows returns the collected rows in collection order.
+func (d *StatsDump) Rows() []StatsRow {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]StatsRow(nil), d.rows...)
+}
+
+// WriteJSON writes the collected rows as one indented JSON array.
+func (d *StatsDump) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d.Rows())
+}
+
+// WriteCSV writes the rows flattened to "bench,config,path,value" lines.
+func (d *StatsDump) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "bench,config,path,value\n"); err != nil {
+		return err
+	}
+	for _, row := range d.Rows() {
+		if row.Stats == nil {
+			continue
+		}
+		for _, fv := range row.Stats.Flatten("") {
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%s\n", row.Bench, row.Config, fv.Path, fv.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // DefaultOptions returns experiment-scale settings.
@@ -93,11 +159,6 @@ func ShareConfig() arch.Config {
 	return c
 }
 
-// run builds the benchmark fresh and simulates it under cfg.
-func run(s workloads.Spec, p workloads.Params, cfg arch.Config) (sim.Result, error) {
-	k, as := s.Build(p)
-	return sim.Run(cfg, k, as)
-}
 
 // ------------------------------------------------------------- sweep engine
 
@@ -123,17 +184,32 @@ type simCell struct {
 
 // runCells executes the cells through the bounded worker pool and returns
 // their results in input order. A failed cell reports its workload and
-// config variant; the other cells still run.
+// config variant; the other cells still run. The sweep's tracer (if any) is
+// shared across cells with the cell index as trace pid, and a configured
+// StatsDump receives every cell's stats tree in cell order.
 func (o Options) runCells(cells []simCell) ([]sim.Result, error) {
-	return parallel.Map(o.ctx(), o.pool(), len(cells),
+	res, err := parallel.Map(o.ctx(), o.pool(), len(cells),
 		func(_ context.Context, i int) (sim.Result, error) {
 			c := cells[i]
-			r, err := run(c.spec, c.params, c.cfg)
-			if err != nil {
-				return sim.Result{}, fmt.Errorf("%s [%s]: %w", c.spec.Name, c.label, err)
+			k, as := c.spec.Build(c.params)
+			s, serr := sim.New(c.cfg, k, as)
+			if serr != nil {
+				return sim.Result{}, fmt.Errorf("%s [%s]: %w", c.spec.Name, c.label, serr)
 			}
-			return r, nil
+			s.SetTracer(o.Tracer, i)
+			return s.Run(), nil
 		})
+	if err != nil {
+		return nil, err
+	}
+	if o.StatsDump != nil {
+		rows := make([]StatsRow, len(cells))
+		for i, c := range cells {
+			rows[i] = StatsRow{Bench: c.spec.Name, Config: c.label, Stats: res[i].Stats}
+		}
+		o.StatsDump.add(rows...)
+	}
+	return res, nil
 }
 
 // mapSpecs runs fn once per spec through the pool, preserving spec order.
@@ -417,10 +493,7 @@ func RenderFig11(rows []EvalRow) string {
 			fmt.Sprintf("%.3f", r.NormPart()),
 			fmt.Sprintf("%.3f", r.NormShare()))
 	}
-	t.AddRow("geomean", "1.000",
-		fmt.Sprintf("%.3f", metrics.Geomean(sched)),
-		fmt.Sprintf("%.3f", metrics.Geomean(part)),
-		fmt.Sprintf("%.3f", metrics.Geomean(share)))
+	t.AddRow("geomean", "1.000", fmtGeomean(sched), fmtGeomean(part), fmtGeomean(share))
 	return "Figure 11 — execution time normalized to baseline (lower is better)\n" + t.String()
 }
 
@@ -479,7 +552,7 @@ func RenderFig12(rows []Fig12Row) string {
 		t.AddRow(r.Bench, fmt.Sprintf("%.3f", r.Speedup),
 			metrics.Pct(r.HitCompress), metrics.Pct(r.HitOursCompress))
 	}
-	t.AddRow("geomean", fmt.Sprintf("%.3f", metrics.Geomean(sp)))
+	t.AddRow("geomean", fmtGeomean(sp))
 	return "Figure 12 — our approach on top of TLB compression, normalized to compression alone\n" + t.String()
 }
 
@@ -539,7 +612,7 @@ func RenderHugePages(rows []HugePageRow) string {
 		sp = append(sp, r.SpeedupOurs2M)
 		t.AddRow(r.Bench, metrics.Pct(r.Hit4K), metrics.Pct(r.Hit2M), fmt.Sprintf("%.3f", r.SpeedupOurs2M))
 	}
-	t.AddRow("geomean", "", "", fmt.Sprintf("%.3f", metrics.Geomean(sp)))
+	t.AddRow("geomean", "", "", fmtGeomean(sp))
 	return "Huge-page study (§V) — 2MB pages, baseline vs our approach on top\n" + t.String()
 }
 
@@ -625,6 +698,17 @@ func AblationThrottle(opt Options, caps []int) ([]AblationRow, error) {
 		}
 	}
 	return rows, nil
+}
+
+// fmtGeomean renders a geomean for a summary row; cycle counts are always
+// positive, so an error here means corrupted inputs — render it visibly
+// rather than fabricating a number.
+func fmtGeomean(xs []float64) string {
+	g, err := metrics.Geomean(xs)
+	if err != nil {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f", g)
 }
 
 // RenderAblation formats an ablation table.
@@ -842,12 +926,19 @@ func SeedSweep(opt Options, seeds []int64) ([]SeedSweepRow, error) {
 			part = append(part, r.NormPart())
 			share = append(share, r.NormShare())
 		}
-		rows = append(rows, SeedSweepRow{
-			Seed:     seed,
-			GeoSched: metrics.Geomean(sched),
-			GeoPart:  metrics.Geomean(part),
-			GeoShare: metrics.Geomean(share),
-		})
+		gs, err := metrics.Geomean(sched)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: seed %d: %w", seed, err)
+		}
+		gp, err := metrics.Geomean(part)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: seed %d: %w", seed, err)
+		}
+		gh, err := metrics.Geomean(share)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: seed %d: %w", seed, err)
+		}
+		rows = append(rows, SeedSweepRow{Seed: seed, GeoSched: gs, GeoPart: gp, GeoShare: gh})
 	}
 	return rows, nil
 }

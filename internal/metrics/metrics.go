@@ -9,21 +9,22 @@ import (
 	"strings"
 )
 
-// Geomean returns the geometric mean of xs. Non-positive values are
-// rejected with a panic: normalized execution times are always positive, so
-// a zero would mean a broken experiment.
-func Geomean(xs []float64) float64 {
+// Geomean returns the geometric mean of xs (0 for empty input). Non-positive
+// values are rejected with an error: normalized execution times are always
+// positive, so a zero means a broken experiment, and the caller decides how
+// to surface that.
+func Geomean(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		return 0
+		return 0, nil
 	}
 	sum := 0.0
 	for _, x := range xs {
 		if x <= 0 {
-			panic(fmt.Sprintf("metrics: geomean of non-positive value %v", x))
+			return 0, fmt.Errorf("metrics: geomean of non-positive value %v", x)
 		}
 		sum += math.Log(x)
 	}
-	return math.Exp(sum / float64(len(xs)))
+	return math.Exp(sum / float64(len(xs))), nil
 }
 
 // Mean returns the arithmetic mean of xs (0 for empty input).

@@ -8,24 +8,25 @@ import (
 )
 
 func TestGeomean(t *testing.T) {
-	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
-		t.Errorf("Geomean(2,8) = %v, want 4", got)
+	if got, err := Geomean([]float64{2, 8}); err != nil || math.Abs(got-4) > 1e-12 {
+		t.Errorf("Geomean(2,8) = %v, %v, want 4", got, err)
 	}
-	if got := Geomean([]float64{1, 1, 1}); got != 1 {
-		t.Errorf("Geomean(1,1,1) = %v", got)
+	if got, err := Geomean([]float64{1, 1, 1}); err != nil || got != 1 {
+		t.Errorf("Geomean(1,1,1) = %v, %v", got, err)
 	}
-	if got := Geomean(nil); got != 0 {
-		t.Errorf("Geomean(nil) = %v, want 0", got)
+	if got, err := Geomean(nil); err != nil || got != 0 {
+		t.Errorf("Geomean(nil) = %v, %v, want 0", got, err)
 	}
 }
 
-func TestGeomeanPanicsOnNonPositive(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("Geomean accepted 0")
+func TestGeomeanErrorOnNonPositive(t *testing.T) {
+	for _, xs := range [][]float64{{1, 0}, {-2}, {3, 4, -1, 5}} {
+		if got, err := Geomean(xs); err == nil {
+			t.Errorf("Geomean(%v) = %v, want error", xs, got)
+		} else if got != 0 {
+			t.Errorf("Geomean(%v) returned %v alongside error", xs, got)
 		}
-	}()
-	Geomean([]float64{1, 0})
+	}
 }
 
 func TestMean(t *testing.T) {
@@ -89,7 +90,10 @@ func TestGeomeanProperty(t *testing.T) {
 				max = xs[i]
 			}
 		}
-		g := Geomean(xs)
+		g, err := Geomean(xs)
+		if err != nil {
+			return false
+		}
 		if g < min-1e-9 || g > max+1e-9 {
 			return false
 		}
@@ -97,7 +101,11 @@ func TestGeomeanProperty(t *testing.T) {
 		for i := range xs {
 			scaled[i] = xs[i] * 3
 		}
-		return math.Abs(Geomean(scaled)-3*g) < 1e-9*(1+3*g)
+		gs, err := Geomean(scaled)
+		if err != nil {
+			return false
+		}
+		return math.Abs(gs-3*g) < 1e-9*(1+3*g)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)

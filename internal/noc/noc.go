@@ -8,7 +8,10 @@
 // latency-composition style.
 package noc
 
-import "gputlb/internal/engine"
+import (
+	"gputlb/internal/engine"
+	"gputlb/internal/stats"
+)
 
 // windowBits sets the reservation window (2^6 = 64 cycles).
 const windowBits = 6
@@ -126,6 +129,19 @@ func (x *Crossbar) Packets() int64 { return x.packets }
 // Stalls returns the number of requests delayed past the bare latency (a
 // congestion indicator).
 func (x *Crossbar) Stalls() int64 { return x.stalls }
+
+// RegisterStats registers the crossbar's traffic counters into r; values
+// are read lazily at snapshot time.
+func (x *Crossbar) RegisterStats(r *stats.Registry) {
+	r.CounterFunc("packets", func() int64 { return x.packets })
+	r.CounterFunc("stalls", func() int64 { return x.stalls })
+	r.GaugeFunc("stall_rate", func() float64 {
+		if x.packets == 0 {
+			return 0
+		}
+		return float64(x.stalls) / float64(x.packets)
+	})
+}
 
 // Meter is an order-insensitive capacity meter for a resource that serves
 // a bounded number of busy-cycles per time window (a DRAM bank, a walker

@@ -6,7 +6,10 @@
 // low-miss-rate SM has capacity.
 package sched
 
-import "gputlb/internal/arch"
+import (
+	"gputlb/internal/arch"
+	"gputlb/internal/stats"
+)
 
 // SMStatus is one entry of the scheduler's view: free TB slots plus the
 // <hits, total> pair the SM publishes to the scheduler's 16-entry table.
@@ -24,12 +27,35 @@ func (s SMStatus) missRate() float64 {
 	return 1 - float64(s.TLBHits)/float64(s.TLBTotal)
 }
 
+// Stats counts scheduling decisions. Policies own one and register it into
+// the simulator's stats tree via RegisterStats.
+type Stats struct {
+	// Picks counts TB placements; Exhausted counts Pick calls that found no
+	// SM with a free slot.
+	Picks     int64
+	Exhausted int64
+	// Skips counts SMs passed over for thrashing; Fallbacks counts TLB-aware
+	// picks that fell back to plain round-robin (both 0 under round-robin).
+	Skips     int64
+	Fallbacks int64
+}
+
+// RegisterStats registers the decision counters into r.
+func (s *Stats) RegisterStats(r *stats.Registry) {
+	r.CounterFunc("picks", func() int64 { return s.Picks })
+	r.CounterFunc("exhausted", func() int64 { return s.Exhausted })
+	r.CounterFunc("skips", func() int64 { return s.Skips })
+	r.CounterFunc("fallbacks", func() int64 { return s.Fallbacks })
+}
+
 // Policy picks the SM that receives the next TB. Pick returns the SM index,
 // or -1 when no SM has a free slot. cursor is the round-robin position after
 // the previous dispatch (the policy owns advancing it).
 type Policy interface {
 	Name() string
 	Pick(sms []SMStatus, cursor int) (sm int, nextCursor int)
+	// Stats exposes the policy's decision counters.
+	Stats() *Stats
 }
 
 // NewPolicy constructs the policy for a configuration.
@@ -37,18 +63,12 @@ func NewPolicy(p arch.TBSchedulerPolicy) Policy {
 	if p == arch.ScheduleTLBAware {
 		return &TLBAware{}
 	}
-	return RoundRobin{}
+	return &RoundRobin{}
 }
 
-// RoundRobin is the baseline GPU TB scheduler: SMs are visited cyclically
-// and a TB lands on the first one with a free slot.
-type RoundRobin struct{}
-
-// Name implements Policy.
-func (RoundRobin) Name() string { return arch.ScheduleRoundRobin.String() }
-
-// Pick implements Policy.
-func (RoundRobin) Pick(sms []SMStatus, cursor int) (int, int) {
+// pickRoundRobin is the cursor-advancing round-robin scan shared by both
+// policies: the first SM at or after cursor with a free slot.
+func pickRoundRobin(sms []SMStatus, cursor int) (int, int) {
 	n := len(sms)
 	for i := 0; i < n; i++ {
 		sm := (cursor + i) % n
@@ -57,6 +77,27 @@ func (RoundRobin) Pick(sms []SMStatus, cursor int) (int, int) {
 		}
 	}
 	return -1, cursor
+}
+
+// RoundRobin is the baseline GPU TB scheduler: SMs are visited cyclically
+// and a TB lands on the first one with a free slot.
+type RoundRobin struct{ stats Stats }
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return arch.ScheduleRoundRobin.String() }
+
+// Stats implements Policy.
+func (p *RoundRobin) Stats() *Stats { return &p.stats }
+
+// Pick implements Policy.
+func (p *RoundRobin) Pick(sms []SMStatus, cursor int) (int, int) {
+	sm, next := pickRoundRobin(sms, cursor)
+	if sm < 0 {
+		p.stats.Exhausted++
+	} else {
+		p.stats.Picks++
+	}
+	return sm, next
 }
 
 // warmup is the minimum number of TLB accesses before an SM's miss rate is
@@ -68,13 +109,16 @@ const warmup = 64
 // mean across SMs; if every SM with capacity is thrashing worse than
 // average, it falls back to plain round-robin. It never throttles: a TB is
 // always placed if any SM has a free slot.
-type TLBAware struct{}
+type TLBAware struct{ stats Stats }
 
 // Name implements Policy.
 func (*TLBAware) Name() string { return arch.ScheduleTLBAware.String() }
 
+// Stats implements Policy.
+func (p *TLBAware) Stats() *Stats { return &p.stats }
+
 // Pick implements Policy.
-func (*TLBAware) Pick(sms []SMStatus, cursor int) (int, int) {
+func (p *TLBAware) Pick(sms []SMStatus, cursor int) (int, int) {
 	n := len(sms)
 	var sum float64
 	samples := 0
@@ -97,9 +141,19 @@ func (*TLBAware) Pick(sms []SMStatus, cursor int) (int, int) {
 				continue
 			}
 			if s.TLBTotal < warmup || s.missRate() <= threshold {
+				p.stats.Picks++
 				return sm, (sm + 1) % n
 			}
+			p.stats.Skips++
 		}
+		// Every SM with capacity is thrashing worse than average.
+		p.stats.Fallbacks++
 	}
-	return RoundRobin{}.Pick(sms, cursor)
+	sm, next := pickRoundRobin(sms, cursor)
+	if sm < 0 {
+		p.stats.Exhausted++
+	} else {
+		p.stats.Picks++
+	}
+	return sm, next
 }

@@ -36,7 +36,7 @@ func TestRoundRobinCycles(t *testing.T) {
 
 func TestRoundRobinSkipsFullSMs(t *testing.T) {
 	sms := []SMStatus{{FreeSlots: 0}, {FreeSlots: 0}, {FreeSlots: 2}}
-	sm, next := RoundRobin{}.Pick(sms, 0)
+	sm, next := (&RoundRobin{}).Pick(sms, 0)
 	if sm != 2 {
 		t.Errorf("picked %d, want 2 (only SM with capacity)", sm)
 	}
@@ -47,7 +47,7 @@ func TestRoundRobinSkipsFullSMs(t *testing.T) {
 
 func TestRoundRobinAllFull(t *testing.T) {
 	sms := []SMStatus{{FreeSlots: 0}, {FreeSlots: 0}}
-	sm, _ := RoundRobin{}.Pick(sms, 1)
+	sm, _ := (&RoundRobin{}).Pick(sms, 1)
 	if sm != -1 {
 		t.Errorf("picked %d with no capacity anywhere, want -1", sm)
 	}
@@ -64,7 +64,7 @@ func TestTLBAwareAvoidsThrashingSM(t *testing.T) {
 	if sm != 1 {
 		t.Errorf("picked %d, want 1 (low miss rate)", sm)
 	}
-	if rr, _ := (RoundRobin{}).Pick(sms, 0); rr != 0 {
+	if rr, _ := (&RoundRobin{}).Pick(sms, 0); rr != 0 {
 		t.Errorf("baseline sanity: round-robin picked %d, want 0", rr)
 	}
 }
@@ -113,7 +113,7 @@ func TestTLBAwareAllColdBehavesLikeRoundRobin(t *testing.T) {
 // Property: both policies return -1 iff no SM has capacity, and otherwise a
 // valid index of an SM with capacity.
 func TestPolicyValidityProperty(t *testing.T) {
-	policies := []Policy{RoundRobin{}, &TLBAware{}}
+	policies := []Policy{&RoundRobin{}, &TLBAware{}}
 	f := func(free []uint8, hits []uint8, cursorRaw uint8) bool {
 		if len(free) == 0 {
 			return true

@@ -16,6 +16,7 @@ import (
 	"gputlb/internal/engine"
 	"gputlb/internal/noc"
 	"gputlb/internal/sched"
+	"gputlb/internal/stats"
 	"gputlb/internal/tlb"
 	"gputlb/internal/trace"
 	"gputlb/internal/vm"
@@ -71,6 +72,10 @@ type Result struct {
 	NoCStalls     int64
 	DRAMRowHits   int64
 	DRAMRowMisses int64
+	// Stats is the full hierarchical stats tree the run's components
+	// registered into — every field above is a view over it. Excluded from
+	// JSON results; dump it explicitly (e.g. the CLIs' -stats-out flag).
+	Stats *stats.Snapshot `json:"-"`
 }
 
 // L1TLBHits and L1TLBAccesses sum the per-SM counters.
@@ -108,6 +113,7 @@ type slotState struct {
 	active         bool
 	tbIndex        int
 	remainingWarps int
+	dispatchedAt   engine.Cycle
 }
 
 type smState struct {
@@ -167,11 +173,26 @@ type Simulator struct {
 	warpSeq         int64
 	dispatchPending bool
 
-	pwc                       *tlb.TLB
-	transLatency              [16]int64
-	walks, faults, pwcHits    int64
-	instsIssued, lineRequests int64
-	pageRequests              int64
+	pwc *tlb.TLB
+
+	// stats is the run's metric tree; every component registers into it at
+	// New time and the sim-owned counters below live in its "sim" root.
+	stats        *stats.Registry
+	walks        *stats.Counter
+	faults       *stats.Counter
+	pwcHits      *stats.Counter
+	instsIssued  *stats.Counter
+	lineRequests *stats.Counter
+	pageRequests *stats.Counter
+	transLatency *stats.Histogram
+
+	// tracer, when non-nil, receives structured events (TB lifetimes, TLB
+	// misses/fills/evictions, page-walk occupancy). tracePID distinguishes
+	// concurrent runs sharing one tracer; walkEnds tracks in-flight walk
+	// completion times for the occupancy counter track.
+	tracer   *stats.Tracer
+	tracePID int
+	walkEnds []engine.Cycle
 
 	lineShift uint
 	pageShift uint
@@ -231,17 +252,23 @@ func New(cfg arch.Config, kernel *trace.Kernel, as *vm.AddressSpace) (*Simulator
 		Compression:           cfg.TLBCompression,
 		Replacement:           cfg.TLBReplacement,
 	}
-	// L1 victims refresh the shared L2 TLB so translations held by an SM do
-	// not age out of the L2 while they are hot in an L1.
-	l1opt.OnEvict = func(vpn vm.VPN, ppn vm.PPN) {
-		if !s.l2tlb.Contains(0, vpn) {
-			s.l2tlb.Insert(0, vpn, ppn)
-		}
-	}
 	for i := 0; i < cfg.NumSMs; i++ {
+		smID := i
+		opt := l1opt
+		// L1 victims refresh the shared L2 TLB so translations held by an SM
+		// do not age out of the L2 while they are hot in an L1.
+		opt.OnEvict = func(vpn vm.VPN, ppn vm.PPN) {
+			if !s.l2tlb.Contains(0, vpn) {
+				s.l2tlb.Insert(0, vpn, ppn)
+			}
+			if s.tracer.Enabled() {
+				s.tracer.Instant(s.tracePID, smID, "l1tlb_evict", "tlb",
+					int64(s.clock), map[string]int64{"vpn": int64(vpn)})
+			}
+		}
 		sm := &smState{
 			id:           i,
-			l1tlb:        tlb.New(cfg.L1TLB, l1opt),
+			l1tlb:        tlb.New(cfg.L1TLB, opt),
 			l1cache:      cache.New(cfg.L1Cache),
 			slots:        make([]slotState, slots),
 			inflight:     make(map[vm.VPN]inflight),
@@ -250,7 +277,53 @@ func New(cfg arch.Config, kernel *trace.Kernel, as *vm.AddressSpace) (*Simulator
 		sm.l1tlb.ConfigureSlots(slots)
 		s.sms = append(s.sms, sm)
 	}
+	s.buildRegistry()
 	return s, nil
+}
+
+// buildRegistry assembles the run's stats tree: sim-owned counters at the
+// root and one child node per hardware component. Every value is read
+// lazily, so snapshots taken after Run reflect the finished run.
+func (s *Simulator) buildRegistry() {
+	root := stats.NewRegistry("sim")
+	s.stats = root
+	s.walks = root.Counter("walks")
+	s.faults = root.Counter("uvm_faults")
+	s.pwcHits = root.Counter("pwc_hits")
+	s.instsIssued = root.Counter("insts_issued")
+	s.lineRequests = root.Counter("line_requests")
+	s.pageRequests = root.Counter("page_requests")
+	s.transLatency = root.Histogram("translation_latency", len(Result{}.TranslationLatency))
+	root.CounterFunc("tbs_done", func() int64 { return int64(s.tbsDone) })
+	root.CounterFunc("cycles", func() int64 { return int64(s.lastDone) })
+
+	for _, sm := range s.sms {
+		smReg := root.Child(fmt.Sprintf("sm%02d", sm.id))
+		sm.l1tlb.RegisterStats(smReg.Child("l1tlb"))
+		sm.l1cache.RegisterStats(smReg.Child("l1cache"))
+		tbs := sm
+		smReg.CounterFunc("tbs_run", func() int64 { return int64(tbs.tbsRun) })
+	}
+	s.l2tlb.RegisterStats(root.Child("l2tlb"))
+	s.l2cache.RegisterStats(root.Child("l2cache"))
+	if s.pwc != nil {
+		s.pwc.RegisterStats(root.Child("pwc"))
+	}
+	s.xbar.RegisterStats(root.Child("noc"))
+	s.mem.RegisterStats(root.Child("dram"))
+	s.as.RegisterStats(root.Child("vm"))
+	s.policy.Stats().RegisterStats(root.Child("sched"))
+}
+
+// Registry returns the run's stats tree for querying or late registration.
+func (s *Simulator) Registry() *stats.Registry { return s.stats }
+
+// SetTracer attaches an event tracer (nil disables tracing). pid tags this
+// run's events, letting a parallel sweep share one tracer across cells.
+// Call before Run.
+func (s *Simulator) SetTracer(t *stats.Tracer, pid int) {
+	s.tracer = t
+	s.tracePID = pid
 }
 
 func uintLog2(v int) uint {
@@ -296,9 +369,9 @@ func (s *Simulator) sample() {
 	s.samples = append(s.samples, Sample{
 		Cycle:     s.clock,
 		L1HitRate: rate,
-		Walks:     s.walks - s.lastSampleWalks,
+		Walks:     s.walks.Value() - s.lastSampleWalks,
 	})
-	s.lastSampleHits, s.lastSampleAcc, s.lastSampleWalks = hits, acc, s.walks
+	s.lastSampleHits, s.lastSampleAcc, s.lastSampleWalks = hits, acc, s.walks.Value()
 	if s.queue.Len() > 0 { // only while other work remains
 		s.queue.Schedule(s.clock+engine.Cycle(s.cfg.SampleInterval), s.sample)
 	}
@@ -306,21 +379,21 @@ func (s *Simulator) sample() {
 
 func (s *Simulator) result() Result {
 	r := Result{
-		Cycles:             s.lastDone,
-		Walks:              s.walks,
-		Faults:             s.faults,
-		PWCHits:            s.pwcHits,
-		InstsIssued:        s.instsIssued,
-		LineRequests:       s.lineRequests,
-		PageRequests:       s.pageRequests,
-		L2TLB:              s.l2tlb.Stats(),
-		L2Cache:            s.l2cache.Stats(),
-		Samples:            s.samples,
-		TranslationLatency: s.transLatency,
-		NoCStalls:          s.xbar.Stalls(),
-		DRAMRowHits:        s.mem.RowHits(),
-		DRAMRowMisses:      s.mem.RowMisses(),
+		Cycles:        s.lastDone,
+		Walks:         s.walks.Value(),
+		Faults:        s.faults.Value(),
+		PWCHits:       s.pwcHits.Value(),
+		InstsIssued:   s.instsIssued.Value(),
+		LineRequests:  s.lineRequests.Value(),
+		PageRequests:  s.pageRequests.Value(),
+		L2TLB:         s.l2tlb.Stats(),
+		L2Cache:       s.l2cache.Stats(),
+		Samples:       s.samples,
+		NoCStalls:     s.xbar.Stalls(),
+		DRAMRowHits:   s.mem.RowHits(),
+		DRAMRowMisses: s.mem.RowMisses(),
 	}
+	copy(r.TranslationLatency[:], s.transLatency.Buckets())
 	var rateSum float64
 	active := 0
 	for _, sm := range s.sms {
@@ -340,6 +413,7 @@ func (s *Simulator) result() Result {
 	if active > 0 {
 		r.L1TLBHitRate = rateSum / float64(active)
 	}
+	r.Stats = s.stats.Snapshot()
 	return r
 }
 
@@ -384,7 +458,7 @@ func (s *Simulator) place(sm *smState, tbIndex int) {
 		panic("sim: place on SM without free slot")
 	}
 	tb := &s.kernel.TBs[tbIndex]
-	sm.slots[slot] = slotState{active: true, tbIndex: tbIndex, remainingWarps: len(tb.Warps)}
+	sm.slots[slot] = slotState{active: true, tbIndex: tbIndex, remainingWarps: len(tb.Warps), dispatchedAt: s.clock}
 	sm.tbsRun++
 	for w := range tb.Warps {
 		ws := &warpState{sm: sm, slot: slot, seq: s.warpSeq, insts: tb.Warps[w].Insts}
@@ -543,7 +617,7 @@ func (s *Simulator) pickTransAware(sm *smState) int {
 func (s *Simulator) issue(ws *warpState) {
 	in := ws.insts[ws.pc]
 	ws.pc++
-	s.instsIssued++
+	s.instsIssued.Inc()
 
 	var done engine.Cycle
 	if in.IsMem() {
@@ -583,6 +657,10 @@ func (s *Simulator) retireWarp(ws *warpState) {
 		return
 	}
 	sl.active = false
+	if s.tracer.Enabled() {
+		s.tracer.Complete(s.tracePID, sm.id, fmt.Sprintf("TB %d", sl.tbIndex), "tb",
+			int64(sl.dispatchedAt), int64(s.clock-sl.dispatchedAt), nil)
+	}
 	sm.l1tlb.OnTBFinish(ws.slot)
 	s.tbsDone++
 	s.scheduleDispatch()
@@ -621,7 +699,7 @@ func (s *Simulator) scheduleDispatch() {
 // translation completes. The warp blocks until the slowest request.
 func (s *Simulator) executeMem(sm *smState, slot int, in trace.Inst) engine.Cycle {
 	pages := trace.CoalescePages(in.Addrs, s.pageShift)
-	s.pageRequests += int64(len(pages))
+	s.pageRequests.Add(int64(len(pages)))
 
 	type pageDone struct {
 		vpn  vm.VPN
@@ -641,7 +719,7 @@ func (s *Simulator) executeMem(sm *smState, slot int, in trace.Inst) engine.Cycl
 	}
 
 	lines := trace.CoalesceLines(in.Addrs, s.cfg.L1Cache.LineBytes)
-	s.lineRequests += int64(len(lines))
+	s.lineRequests.Add(int64(len(lines)))
 	linesPerPage := s.pageShift - s.lineShift
 	for _, line := range lines {
 		vpn := vm.VPN(line >> linesPerPage)
@@ -674,11 +752,7 @@ func (s *Simulator) executeMem(sm *smState, slot int, in trace.Inst) engine.Cycl
 // recordTranslationLatency buckets one translation's request-to-completion
 // latency into the power-of-two histogram.
 func (s *Simulator) recordTranslationLatency(lat engine.Cycle) {
-	b := 0
-	for v := int64(lat); v > 1 && b < len(s.transLatency)-1; v >>= 1 {
-		b++
-	}
-	s.transLatency[b]++
+	s.transLatency.Observe(int64(lat))
 }
 
 // dataAccess models the data path for one line from cycle start: L1 cache,
@@ -719,6 +793,10 @@ func (s *Simulator) translate(sm *smState, slot int, vpn vm.VPN) (vm.PPN, engine
 	if hit {
 		return ppn, t1, true
 	}
+	if s.tracer.Enabled() {
+		s.tracer.Instant(s.tracePID, sm.id, "l1tlb_miss", "tlb",
+			int64(s.clock), map[string]int64{"vpn": int64(vpn)})
+	}
 
 	// Merge with an in-flight miss to the same page from this SM (MSHR).
 	if inf, ok := sm.inflight[vpn]; ok && inf.done > s.clock {
@@ -752,6 +830,7 @@ func (s *Simulator) translate(sm *smState, slot int, vpn vm.VPN) (vm.PPN, engine
 	if hit2 {
 		done := s.xbar.Return(tlbPart, sm.id, t3)
 		sm.l1tlb.Insert(slot, vpn, ppn2)
+		s.traceFill(sm.id, vpn, done, "l2tlb")
 		sm.inflight[vpn] = inflight{ppn2, done}
 		sm.missHandlers[h] = done
 		return ppn2, done, false
@@ -779,14 +858,13 @@ func (s *Simulator) translate(sm *smState, slot int, vpn vm.VPN) (vm.PPN, engine
 		region := vm.VPN(vpn >> 9)
 		if _, hit, _ := s.pwc.Lookup(0, region); hit {
 			lat = engine.Cycle(s.cfg.WalkLatency / vm.Levels)
-			s.pwcHits++
+			s.pwcHits.Inc()
 		} else {
 			s.pwc.Insert(0, region, 0)
 		}
 	}
 	if faulted {
 		lat += engine.Cycle(s.cfg.PageFaultLatency)
-		s.faults++
 	}
 	// The walk occupies one of NumWalkers servers: the pool's aggregate
 	// throughput is modelled by metering 1/NumWalkers of the latency.
@@ -796,16 +874,64 @@ func (s *Simulator) translate(sm *smState, slot int, vpn vm.VPN) (vm.PPN, engine
 	}
 	wstart := s.walkerMeter.Reserve(t3, poolCost)
 	wdone := wstart + lat
-	s.walks++
+	s.walks.Inc()
+	if faulted {
+		s.faults.Inc()
+	}
+	s.traceWalk(sm.id, vpn, wstart, wdone, faulted)
 
 	s.l2tlb.Insert(0, vpn, wppn)
 	sm.l1tlb.Insert(slot, vpn, wppn)
+	s.traceFill(sm.id, vpn, wdone, "walk")
 	s.l2Inflight[vpn] = inflight{wppn, wdone}
 	done := s.xbar.Return(tlbPart, sm.id, wdone)
 	sm.inflight[vpn] = inflight{wppn, done}
 	sm.missHandlers[h] = done
 	return wppn, done, false
 }
+
+// traceFill emits an instant event for a translation filling into an SM's L1
+// TLB, tagged with where it came from ("l2tlb" or "walk"). No-op when
+// tracing is off.
+func (s *Simulator) traceFill(smID int, vpn vm.VPN, at engine.Cycle, src string) {
+	if !s.tracer.Enabled() {
+		return
+	}
+	s.tracer.Instant(s.tracePID, smID, "l1tlb_fill_"+src, "tlb",
+		int64(at), map[string]int64{"vpn": int64(vpn)})
+}
+
+// traceWalk emits one page-table walk as a complete event on the walker
+// track plus a counter sample of in-flight walks (walker occupancy). The
+// walkEnds bookkeeping only feeds the trace, so tracing cannot perturb the
+// simulated timing. No-op when tracing is off.
+func (s *Simulator) traceWalk(smID int, vpn vm.VPN, start, done engine.Cycle, faulted bool) {
+	if !s.tracer.Enabled() {
+		return
+	}
+	// Drop walks that completed before this one started; the survivors plus
+	// this walk are the pool's occupancy at `start`.
+	live := s.walkEnds[:0]
+	for _, end := range s.walkEnds {
+		if end > start {
+			live = append(live, end)
+		}
+	}
+	s.walkEnds = append(live, done)
+	f := int64(0)
+	if faulted {
+		f = 1
+	}
+	s.tracer.Complete(s.tracePID, walkerTID, "walk", "walker",
+		int64(start), int64(done-start),
+		map[string]int64{"vpn": int64(vpn), "sm": int64(smID), "fault": f})
+	s.tracer.CounterEvent(s.tracePID, "walkers", int64(start),
+		map[string]int64{"in_flight": int64(len(s.walkEnds))})
+}
+
+// walkerTID is the trace track for the shared walker pool, placed well
+// above any SM id.
+const walkerTID = 1 << 20
 
 // Run is the package-level convenience: build and run in one call.
 func Run(cfg arch.Config, kernel *trace.Kernel, as *vm.AddressSpace) (Result, error) {

@@ -1,0 +1,490 @@
+// Package stats is the simulator's observability substrate: a hierarchical
+// registry of named counters, distributions and gauges that every component
+// of the timing model (sim, tlb, vm, cache, sched, noc, dram) registers
+// into, plus a ring-buffered structured event trace exportable as Chrome
+// trace_event JSON (see tracer.go).
+//
+// The registry is a tree. Each component owns one node (a child registry)
+// and registers metrics under it; a Snapshot materializes the whole tree
+// into concrete values in deterministic (sorted) order, so two identical
+// simulations produce byte-identical JSON — the property the golden-stats
+// regression suite keys off.
+//
+// Registries are not safe for concurrent use: the simulator drives each
+// registry from a single goroutine, and parallel sweeps give every cell its
+// own registry. Snapshots are plain data and safe to share once taken.
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Counter is a monotonically growing event count.
+type Counter struct{ v int64 }
+
+// Add increases the counter by d.
+func (c *Counter) Add(d int64) { c.v += d }
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Registry is one node of the stats tree. Create the root with NewRegistry
+// and component nodes with Child. Metric names must be unique within a node
+// across all metric kinds.
+type Registry struct {
+	name     string
+	children map[string]*Registry
+	counters map[string]*Counter
+	funcs    map[string]func() int64
+	gauges   map[string]func() float64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates a root registry node.
+func NewRegistry(name string) *Registry {
+	return &Registry{
+		name:     name,
+		children: map[string]*Registry{},
+		counters: map[string]*Counter{},
+		funcs:    map[string]func() int64{},
+		gauges:   map[string]func() float64{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Name returns the node's name.
+func (r *Registry) Name() string { return r.name }
+
+// Child returns the named child node, creating it on first use.
+func (r *Registry) Child(name string) *Registry {
+	if c, ok := r.children[name]; ok {
+		return c
+	}
+	c := NewRegistry(name)
+	r.children[name] = c
+	return c
+}
+
+func (r *Registry) checkFresh(name string) {
+	if _, ok := r.counters[name]; ok {
+		panic(fmt.Sprintf("stats: metric %q already registered in %q", name, r.name))
+	}
+	if _, ok := r.funcs[name]; ok {
+		panic(fmt.Sprintf("stats: metric %q already registered in %q", name, r.name))
+	}
+	if _, ok := r.gauges[name]; ok {
+		panic(fmt.Sprintf("stats: metric %q already registered in %q", name, r.name))
+	}
+	if _, ok := r.hists[name]; ok {
+		panic(fmt.Sprintf("stats: metric %q already registered in %q", name, r.name))
+	}
+}
+
+// Counter registers and returns a new owned counter. Registering the same
+// name twice is a bug and panics.
+func (r *Registry) Counter(name string) *Counter {
+	r.checkFresh(name)
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// CounterFunc registers a counter whose value is read lazily at snapshot
+// time — the bridge for components that keep their own counter fields.
+func (r *Registry) CounterFunc(name string, fn func() int64) {
+	r.checkFresh(name)
+	r.funcs[name] = fn
+}
+
+// GaugeFunc registers a float-valued metric read lazily at snapshot time
+// (rates, occupancies).
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.checkFresh(name)
+	r.gauges[name] = fn
+}
+
+// Histogram registers and returns a power-of-two-bucketed distribution with
+// the given bucket count (<= 0 means DefaultHistogramBuckets).
+func (r *Registry) Histogram(name string, buckets int) *Histogram {
+	r.checkFresh(name)
+	h := NewHistogram(buckets)
+	r.hists[name] = h
+	return h
+}
+
+// ---------------------------------------------------------------- histogram
+
+// DefaultHistogramBuckets is the bucket count used when none is given.
+const DefaultHistogramBuckets = 16
+
+// Histogram is a power-of-two-bucketed distribution of non-negative int64
+// samples: bucket b counts values in (2^(b-1), 2^b], bucket 0 also covers
+// values <= 1, and the last bucket absorbs every larger value (the overflow
+// bucket). Alongside the buckets it tracks exact count, sum, min and max,
+// so means are exact and quantiles are bucket-resolution estimates.
+type Histogram struct {
+	buckets  []int64
+	count    int64
+	sum      int64
+	min, max int64
+}
+
+// NewHistogram creates a histogram with the given bucket count (<= 0 means
+// DefaultHistogramBuckets).
+func NewHistogram(buckets int) *Histogram {
+	if buckets <= 0 {
+		buckets = DefaultHistogramBuckets
+	}
+	return &Histogram{buckets: make([]int64, buckets)}
+}
+
+// bucketOf returns the bucket index for v, clamped into the overflow bucket.
+func (h *Histogram) bucketOf(v int64) int {
+	b := 0
+	for ; v > 1 && b < len(h.buckets)-1; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Observe records one sample. Negative samples are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[h.bucketOf(v)]++
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the exact sum of samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min returns the smallest sample (0 when empty).
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the exact arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Buckets returns a copy of the bucket counts.
+func (h *Histogram) Buckets() []int64 {
+	out := make([]int64, len(h.buckets))
+	copy(out, h.buckets)
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0,1], clamped) at bucket
+// resolution: the upper bound of the first bucket whose cumulative count
+// reaches q*Count, clamped into [Min, Max]. The estimate is monotone in q.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.count)
+	cum := int64(0)
+	for b, n := range h.buckets {
+		cum += n
+		if cum > 0 && float64(cum) >= target {
+			ub := int64(1) << uint(b)
+			if ub < h.min {
+				ub = h.min
+			}
+			if ub > h.max {
+				ub = h.max
+			}
+			return float64(ub)
+		}
+	}
+	return float64(h.max)
+}
+
+// Merge adds o's samples into h. The histograms must have the same bucket
+// count; merging is exact, so it is associative and commutative.
+func (h *Histogram) Merge(o *Histogram) error {
+	if len(h.buckets) != len(o.buckets) {
+		return fmt.Errorf("stats: merging histograms with %d and %d buckets", len(h.buckets), len(o.buckets))
+	}
+	if o.count == 0 {
+		return nil
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.count == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for b, n := range o.buckets {
+		h.buckets[b] += n
+	}
+	return nil
+}
+
+// ----------------------------------------------------------------- snapshot
+
+// CounterValue is one counter's materialized value.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeValue is one gauge's materialized value.
+type GaugeValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramValue is one distribution's materialized summary.
+type HistogramValue struct {
+	Name    string  `json:"name"`
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Min     int64   `json:"min"`
+	Max     int64   `json:"max"`
+	P50     float64 `json:"p50"`
+	P90     float64 `json:"p90"`
+	P99     float64 `json:"p99"`
+	Buckets []int64 `json:"buckets"`
+}
+
+// Snapshot is the materialized stats tree: plain data, deterministically
+// ordered (all names sorted), safe to share and serialize.
+type Snapshot struct {
+	Name       string           `json:"name"`
+	Counters   []CounterValue   `json:"counters,omitempty"`
+	Gauges     []GaugeValue     `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+	Children   []*Snapshot      `json:"children,omitempty"`
+}
+
+// Snapshot materializes the subtree rooted at r.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{Name: r.name}
+	for _, name := range sortedKeys(r.counters) {
+		s.Counters = append(s.Counters, CounterValue{name, r.counters[name].Value()})
+	}
+	for _, name := range sortedKeys(r.funcs) {
+		s.Counters = append(s.Counters, CounterValue{name, r.funcs[name]()})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	for _, name := range sortedKeys(r.gauges) {
+		s.Gauges = append(s.Gauges, GaugeValue{name, r.gauges[name]()})
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		s.Histograms = append(s.Histograms, HistogramValue{
+			Name:    name,
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+			Min:     h.Min(),
+			Max:     h.Max(),
+			P50:     h.Quantile(0.50),
+			P90:     h.Quantile(0.90),
+			P99:     h.Quantile(0.99),
+			Buckets: h.Buckets(),
+		})
+	}
+	for _, name := range sortedKeys(r.children) {
+		s.Children = append(s.Children, r.children[name].Snapshot())
+	}
+	return s
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Find resolves a slash-separated path of child names beneath s ("" or "."
+// returns s itself).
+func (s *Snapshot) Find(path string) (*Snapshot, bool) {
+	if path == "" || path == "." {
+		return s, true
+	}
+	node := s
+	for _, seg := range splitPath(path) {
+		var next *Snapshot
+		for _, c := range node.Children {
+			if c.Name == seg {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			return nil, false
+		}
+		node = next
+	}
+	return node, true
+}
+
+// CounterAt returns the counter value at "child/.../name" beneath s.
+func (s *Snapshot) CounterAt(path string) (int64, bool) {
+	node, name, ok := s.resolveParent(path)
+	if !ok {
+		return 0, false
+	}
+	for _, c := range node.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// HistogramAt returns the histogram summary at "child/.../name" beneath s.
+func (s *Snapshot) HistogramAt(path string) (HistogramValue, bool) {
+	node, name, ok := s.resolveParent(path)
+	if !ok {
+		return HistogramValue{}, false
+	}
+	for _, h := range node.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramValue{}, false
+}
+
+func (s *Snapshot) resolveParent(path string) (*Snapshot, string, bool) {
+	segs := splitPath(path)
+	if len(segs) == 0 {
+		return nil, "", false
+	}
+	node := s
+	if len(segs) > 1 {
+		var ok bool
+		node, ok = s.Find(joinPath(segs[:len(segs)-1]))
+		if !ok {
+			return nil, "", false
+		}
+	}
+	return node, segs[len(segs)-1], true
+}
+
+func splitPath(p string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(p); i++ {
+		if i == len(p) || p[i] == '/' {
+			if i > start {
+				out = append(out, p[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func joinPath(segs []string) string {
+	out := ""
+	for i, s := range segs {
+		if i > 0 {
+			out += "/"
+		}
+		out += s
+	}
+	return out
+}
+
+// FlatValue is one row of a flattened snapshot: a slash-separated metric
+// path and its rendered value.
+type FlatValue struct {
+	Path  string
+	Value string
+}
+
+// Flatten renders the subtree as path/value rows in deterministic order.
+// Histograms expand into count/sum/min/max/p50/p90/p99 plus one row per
+// bucket. prefix, when non-empty, is prepended to every path.
+func (s *Snapshot) Flatten(prefix string) []FlatValue {
+	base := s.Name
+	if prefix != "" {
+		base = prefix + "/" + s.Name
+	}
+	var out []FlatValue
+	for _, c := range s.Counters {
+		out = append(out, FlatValue{base + "/" + c.Name, strconv.FormatInt(c.Value, 10)})
+	}
+	for _, g := range s.Gauges {
+		out = append(out, FlatValue{base + "/" + g.Name, strconv.FormatFloat(g.Value, 'g', -1, 64)})
+	}
+	for _, h := range s.Histograms {
+		hb := base + "/" + h.Name
+		out = append(out,
+			FlatValue{hb + "/count", strconv.FormatInt(h.Count, 10)},
+			FlatValue{hb + "/sum", strconv.FormatInt(h.Sum, 10)},
+			FlatValue{hb + "/min", strconv.FormatInt(h.Min, 10)},
+			FlatValue{hb + "/max", strconv.FormatInt(h.Max, 10)},
+			FlatValue{hb + "/p50", strconv.FormatFloat(h.P50, 'g', -1, 64)},
+			FlatValue{hb + "/p90", strconv.FormatFloat(h.P90, 'g', -1, 64)},
+			FlatValue{hb + "/p99", strconv.FormatFloat(h.P99, 'g', -1, 64)})
+		for b, n := range h.Buckets {
+			out = append(out, FlatValue{fmt.Sprintf("%s/bucket%02d", hb, b), strconv.FormatInt(n, 10)})
+		}
+	}
+	for _, c := range s.Children {
+		out = append(out, c.Flatten(base)...)
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteCSV writes the flattened snapshot as "path,value" CSV rows.
+func (s *Snapshot) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "path,value\n"); err != nil {
+		return err
+	}
+	for _, fv := range s.Flatten("") {
+		if _, err := fmt.Fprintf(w, "%s,%s\n", fv.Path, fv.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

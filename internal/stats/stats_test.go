@@ -1,0 +1,330 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// fillHistogram observes n samples drawn from an LCG stream so the property
+// tests cover a spread of magnitudes deterministically.
+func fillHistogram(h *Histogram, seed int64, n int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		// Mix small, medium, and overflow-range magnitudes.
+		switch rng.Intn(3) {
+		case 0:
+			h.Observe(rng.Int63n(4))
+		case 1:
+			h.Observe(rng.Int63n(1 << 10))
+		default:
+			h.Observe(rng.Int63n(1 << 40))
+		}
+	}
+}
+
+func histogramsEqual(a, b *Histogram) bool {
+	if a.Count() != b.Count() || a.Sum() != b.Sum() || a.Min() != b.Min() || a.Max() != b.Max() {
+		return false
+	}
+	ab, bb := a.Buckets(), b.Buckets()
+	if len(ab) != len(bb) {
+		return false
+	}
+	for i := range ab {
+		if ab[i] != bb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram(4)
+	// Bucket 0 covers <= 1 (including clamped negatives); bucket b holds
+	// values with floor(log2(v)) == b; the last bucket absorbs the rest.
+	for _, v := range []int64{-5, 0, 1} {
+		h.Observe(v)
+	}
+	h.Observe(2)       // bucket 1 (floor(log2) = 1)
+	h.Observe(3)       // bucket 1
+	h.Observe(4)       // bucket 2
+	h.Observe(5)       // bucket 2
+	h.Observe(1 << 62) // bucket 3: overflow clamps to the last bucket
+	want := []int64{3, 2, 2, 1}
+	got := h.Buckets()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+	if h.Min() != 0 || h.Max() != 1<<62 {
+		t.Errorf("min/max = %d/%d, want 0/%d", h.Min(), h.Max(), int64(1)<<62)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram(4)
+	huge := int64(1) << 50
+	for i := 0; i < 10; i++ {
+		h.Observe(huge + int64(i))
+	}
+	if got := h.Buckets()[3]; got != 10 {
+		t.Errorf("overflow bucket = %d, want 10", got)
+	}
+	// Quantiles of an all-overflow histogram must stay clamped into
+	// [min, max], not report the bucket's nominal 2^3 upper bound.
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := h.Quantile(q); v < float64(huge) || v > float64(huge+9) {
+			t.Errorf("Quantile(%v) = %v, outside [min, max]", q, v)
+		}
+	}
+}
+
+func TestHistogramMergeAssociativeCommutative(t *testing.T) {
+	mk := func(seed int64) *Histogram {
+		h := NewHistogram(16)
+		fillHistogram(h, seed, 500)
+		return h
+	}
+	merge := func(hs ...*Histogram) *Histogram {
+		out := NewHistogram(16)
+		for _, h := range hs {
+			if err := out.Merge(h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out
+	}
+
+	a, b, c := mk(1), mk(2), mk(3)
+	// (a+b)+c == a+(b+c)
+	left := merge(merge(a, b), c)
+	right := merge(a, merge(b, c))
+	if !histogramsEqual(left, right) {
+		t.Error("merge is not associative")
+	}
+	// a+b == b+a
+	if !histogramsEqual(merge(a, b), merge(b, a)) {
+		t.Error("merge is not commutative")
+	}
+	// Merging all samples one at a time equals observing them directly.
+	direct := NewHistogram(16)
+	fillHistogram(direct, 1, 500)
+	fillHistogram(direct, 2, 500)
+	fillHistogram(direct, 3, 500)
+	if !histogramsEqual(direct, merge(a, b, c)) {
+		t.Error("merge differs from direct observation")
+	}
+	// Merging an empty histogram is the identity.
+	if !histogramsEqual(a, merge(a, NewHistogram(16))) {
+		t.Error("merging an empty histogram changed the receiver's image")
+	}
+}
+
+func TestHistogramMergeBucketMismatch(t *testing.T) {
+	a, b := NewHistogram(8), NewHistogram(16)
+	if err := a.Merge(b); err == nil {
+		t.Error("merging histograms with different bucket counts should error")
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		h := NewHistogram(16)
+		fillHistogram(h, seed, 1000)
+		prev := -1.0
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			v := h.Quantile(q)
+			if v < prev {
+				t.Fatalf("seed %d: Quantile(%v) = %v < Quantile(prev) = %v", seed, q, v, prev)
+			}
+			if v < float64(h.Min()) || v > float64(h.Max()) {
+				t.Fatalf("seed %d: Quantile(%v) = %v outside [%d, %d]", seed, q, v, h.Min(), h.Max())
+			}
+			prev = v
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(8)
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestRegistrySnapshotDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry("root")
+		// Registration order differs from name order on purpose.
+		r.Counter("zeta").Add(3)
+		r.Counter("alpha").Inc()
+		r.CounterFunc("mid", func() int64 { return 7 })
+		r.GaugeFunc("rate", func() float64 { return 0.25 })
+		h := r.Child("child").Histogram("lat", 8)
+		h.Observe(5)
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := build().Snapshot().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("snapshots of identical registries serialize differently")
+	}
+	snap := build().Snapshot()
+	if names := []string{snap.Counters[0].Name, snap.Counters[1].Name, snap.Counters[2].Name}; names[0] != "alpha" || names[1] != "mid" || names[2] != "zeta" {
+		t.Errorf("counters not sorted: %v", names)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a duplicate metric name should panic")
+		}
+	}()
+	r := NewRegistry("root")
+	r.Counter("x")
+	r.GaugeFunc("x", func() float64 { return 0 })
+}
+
+func TestNilCounterValue(t *testing.T) {
+	var c *Counter
+	if c.Value() != 0 {
+		t.Error("nil counter should read 0")
+	}
+}
+
+func TestSnapshotLookups(t *testing.T) {
+	r := NewRegistry("sim")
+	r.Counter("walks").Add(42)
+	r.Child("sm00").Child("l1tlb").Counter("hits").Add(9)
+	r.Child("sm00").Histogram("lat", 4).Observe(3)
+	s := r.Snapshot()
+
+	if v, ok := s.CounterAt("walks"); !ok || v != 42 {
+		t.Errorf("CounterAt(walks) = %d, %v", v, ok)
+	}
+	if v, ok := s.CounterAt("sm00/l1tlb/hits"); !ok || v != 9 {
+		t.Errorf("CounterAt(sm00/l1tlb/hits) = %d, %v", v, ok)
+	}
+	if _, ok := s.CounterAt("sm00/l1tlb/misses"); ok {
+		t.Error("CounterAt on a missing metric reported ok")
+	}
+	if h, ok := s.HistogramAt("sm00/lat"); !ok || h.Count != 1 {
+		t.Errorf("HistogramAt(sm00/lat) = %+v, %v", h, ok)
+	}
+	if _, ok := s.Find("sm00/nope"); ok {
+		t.Error("Find on a missing child reported ok")
+	}
+}
+
+func TestSnapshotFlattenAndCSV(t *testing.T) {
+	r := NewRegistry("sim")
+	r.Counter("walks").Add(2)
+	r.Child("vm").Counter("pages").Add(5)
+	h := r.Histogram("lat", 2)
+	h.Observe(1)
+	s := r.Snapshot()
+
+	rows := s.Flatten("")
+	want := map[string]string{
+		"sim/walks":     "2",
+		"sim/vm/pages":  "5",
+		"sim/lat/count": "1",
+	}
+	seen := map[string]string{}
+	for _, fv := range rows {
+		seen[fv.Path] = fv.Value
+	}
+	for p, v := range want {
+		if seen[p] != v {
+			t.Errorf("Flatten: %s = %q, want %q", p, seen[p], v)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "path,value\n") {
+		t.Error("CSV missing header")
+	}
+	if !strings.Contains(buf.String(), "sim/vm/pages,5\n") {
+		t.Error("CSV missing flattened row")
+	}
+}
+
+func TestTracerChromeTraceJSON(t *testing.T) {
+	tr := NewTracer(8)
+	if !tr.Enabled() {
+		t.Fatal("non-nil tracer should be enabled")
+	}
+	tr.Complete(1, 0, "TB 0", "tb", 0, 100, nil)
+	tr.Instant(1, 0, "l1tlb_miss", "tlb", 50, map[string]int64{"vpn": 7})
+	tr.CounterEvent(1, "walkers", 60, map[string]int64{"in_flight": 2})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(doc.TraceEvents))
+	}
+	phases := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev["ph"].(string)] = true
+	}
+	for _, ph := range []string{"X", "i", "C"} {
+		if !phases[ph] {
+			t.Errorf("missing phase %q in trace", ph)
+		}
+	}
+}
+
+func TestTracerRingOverflow(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Instant(0, 0, "e", "t", int64(i), nil)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("Dropped() = %d, want 6", tr.Dropped())
+	}
+	// The ring keeps the newest events in order.
+	for i, ev := range evs {
+		if want := int64(6 + i); ev.TS != want {
+			t.Errorf("event %d has ts %d, want %d", i, ev.TS, want)
+		}
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer should be disabled")
+	}
+	// All emitters must be no-ops on a nil tracer.
+	tr.Instant(0, 0, "e", "t", 1, nil)
+	tr.Complete(0, 0, "e", "t", 1, 2, nil)
+	tr.CounterEvent(0, "c", 1, nil)
+	if got := tr.Events(); got != nil {
+		t.Errorf("nil tracer Events() = %v, want nil", got)
+	}
+}

@@ -1,0 +1,155 @@
+// Structured event tracing: an opt-in, ring-buffered record of simulator
+// events (TB dispatch/retire, TLB miss/fill/evict, page-walk occupancy)
+// exportable as Chrome trace_event JSON for chrome://tracing or Perfetto.
+//
+// Timestamps are simulated cycles reported as microseconds (1 cycle = 1us),
+// so the trace viewer's time axis reads directly in cycles. The buffer
+// keeps the most recent Capacity events; once it wraps, the oldest events
+// are dropped (Dropped counts them) — tracing bounds memory, it never
+// aborts a run. Unlike the Registry, a Tracer is safe for concurrent use:
+// a parallel sweep attaches one tracer to every cell, distinguishing cells
+// by the Chrome "pid" field.
+
+package stats
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Trace event phases (the Chrome trace_event "ph" field).
+const (
+	PhaseComplete = "X" // a named span with a duration
+	PhaseInstant  = "i" // a point event
+	PhaseCounter  = "C" // a sampled counter track
+)
+
+// Event is one Chrome trace_event record. TS and Dur are in simulated
+// cycles (rendered as microseconds).
+type Event struct {
+	Name  string           `json:"name"`
+	Cat   string           `json:"cat,omitempty"`
+	Phase string           `json:"ph"`
+	TS    int64            `json:"ts"`
+	Dur   int64            `json:"dur,omitempty"`
+	PID   int              `json:"pid"`
+	TID   int              `json:"tid"`
+	Args  map[string]int64 `json:"args,omitempty"`
+}
+
+// DefaultTraceCapacity is the ring size used when NewTracer is given a
+// non-positive capacity.
+const DefaultTraceCapacity = 1 << 16
+
+// Tracer is a bounded ring buffer of trace events. The zero value is not
+// usable; call NewTracer. A nil *Tracer is a valid no-op sink, so callers
+// can emit unconditionally. All methods are safe for concurrent use.
+type Tracer struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total int64
+	cap   int
+}
+
+// NewTracer creates a tracer keeping the most recent capacity events
+// (<= 0 means DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{cap: capacity}
+}
+
+// Enabled reports whether events will be recorded; callers use it to skip
+// building event arguments when tracing is off.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit records one event (no-op on a nil tracer).
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	if len(t.buf) < t.cap {
+		t.buf = append(t.buf, ev)
+		return
+	}
+	t.buf[t.next] = ev
+	t.next = (t.next + 1) % t.cap
+}
+
+// Complete records a named span [start, start+dur) on track (pid, tid).
+func (t *Tracer) Complete(pid, tid int, name, cat string, start, dur int64, args map[string]int64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Name: name, Cat: cat, Phase: PhaseComplete, TS: start, Dur: dur, PID: pid, TID: tid, Args: args})
+}
+
+// Instant records a point event at ts on track (pid, tid).
+func (t *Tracer) Instant(pid, tid int, name, cat string, ts int64, args map[string]int64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Name: name, Cat: cat, Phase: PhaseInstant, TS: ts, PID: pid, TID: tid, Args: args})
+}
+
+// CounterEvent records sampled counter values at ts; the trace viewer draws
+// one stacked area track per name.
+func (t *Tracer) CounterEvent(pid int, name string, ts int64, values map[string]int64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Name: name, Phase: PhaseCounter, TS: ts, PID: pid, Args: values})
+}
+
+// Events returns the buffered events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Dropped returns how many events fell off the ring.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - int64(len(t.buf))
+}
+
+// chromeTrace is the JSON object format of the Chrome trace_event spec.
+type chromeTrace struct {
+	TraceEvents     []Event           `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	Metadata        map[string]string `json:"metadata,omitempty"`
+}
+
+// WriteChromeTrace writes the buffered events as Chrome trace_event JSON
+// (the object form with a "traceEvents" array), loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	if events == nil {
+		events = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		Metadata:        map[string]string{"unit": "1 ts = 1 simulated cycle"},
+	})
+}

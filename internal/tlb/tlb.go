@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"gputlb/internal/arch"
+	"gputlb/internal/stats"
 	"gputlb/internal/vm"
 )
 
@@ -124,6 +125,22 @@ func (t *TLB) Config() arch.TLBConfig { return t.cfg }
 
 // Stats returns a copy of the counters.
 func (t *TLB) Stats() Stats { return t.stats }
+
+// RegisterStats registers the TLB's counters and rates into r; values are
+// read lazily at snapshot time.
+func (t *TLB) RegisterStats(r *stats.Registry) {
+	r.CounterFunc("accesses", func() int64 { return t.stats.Accesses })
+	r.CounterFunc("hits", func() int64 { return t.stats.Hits })
+	r.CounterFunc("misses", func() int64 { return t.stats.Misses })
+	r.CounterFunc("probe_sets", func() int64 { return t.stats.ProbeSets })
+	r.CounterFunc("evictions", func() int64 { return t.stats.Evictions })
+	r.CounterFunc("spills", func() int64 { return t.stats.Spills })
+	r.CounterFunc("coalesced", func() int64 { return t.stats.Coalesced })
+	r.CounterFunc("flag_sets", func() int64 { return t.stats.FlagSets })
+	r.CounterFunc("flag_resets", func() int64 { return t.stats.FlagResets })
+	r.GaugeFunc("hit_rate", func() float64 { return t.stats.HitRate() })
+	r.GaugeFunc("occupancy", func() float64 { return float64(t.Occupancy()) })
+}
 
 // ResetStats zeroes the counters without touching contents.
 func (t *TLB) ResetStats() { t.stats = Stats{} }

@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+
+	"gputlb/internal/stats"
 )
 
 // Addr is a virtual or physical byte address.
@@ -226,6 +228,15 @@ func (as *AddressSpace) Faults() uint64 { return as.faults }
 
 // Regions returns the allocated regions in allocation order.
 func (as *AddressSpace) Regions() []Region { return as.regions }
+
+// RegisterStats registers the address space's demand-paging counters into
+// r; values are read lazily at snapshot time.
+func (as *AddressSpace) RegisterStats(r *stats.Registry) {
+	r.CounterFunc("faults", func() int64 { return int64(as.faults) })
+	r.CounterFunc("mapped_pages", func() int64 { return int64(as.pt.Mapped()) })
+	r.CounterFunc("frames_allocated", func() int64 { return int64(as.frames.Allocated()) })
+	r.CounterFunc("regions", func() int64 { return int64(len(as.regions)) })
+}
 
 // Alloc reserves bytes of virtual space under name. Nothing is mapped until
 // first touch (UVM demand paging).
