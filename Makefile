@@ -5,13 +5,17 @@
 #                   and the decoder fuzz seed corpus
 #   make test-race  full suite under the race detector
 #   make bench      regenerate every figure at experiment scale
+#   make bench-json refresh BENCH_sim.json (wall-clock + allocs/op) on this
+#                   machine; commit the result alongside perf-sensitive changes
+#   make perf-smoke cheap allocation-regression gate against the committed
+#                   BENCH_sim.json (no wall-clock comparison, CI-safe)
 #   make fuzz       a short decoder fuzz run
 #   make golden     refresh the golden stats snapshot after an intentional
 #                   timing-model change (inspect the diff before committing)
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench fuzz fuzz-seeds golden ci
+.PHONY: all build vet test test-race bench bench-json perf-smoke fuzz fuzz-seeds golden ci
 
 all: vet build test
 
@@ -29,6 +33,15 @@ test-race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+bench-json:
+	$(GO) run ./cmd/perfgate -o BENCH_sim.json
+
+# perf-smoke skips the Eval-sweep wall-clock measurement (machine-dependent)
+# and fails only if allocs per simulated instruction regress more than 2x
+# against the committed numbers — a deterministic property of the code.
+perf-smoke:
+	$(GO) run ./cmd/perfgate -check -skip-sweep -o BENCH_sim.json
 
 fuzz:
 	$(GO) test -fuzz FuzzReadKernel -fuzztime 10s ./internal/trace/

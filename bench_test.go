@@ -163,6 +163,34 @@ func BenchmarkEvalParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkSimPerInst measures the simulate hot path alone: ns and heap
+// allocations per issued warp instruction, with kernel construction outside
+// the timed region. The same quantity gates CI through cmd/perfgate and
+// BENCH_sim.json; this benchmark is the `go test -bench` view of it.
+func BenchmarkSimPerInst(b *testing.B) {
+	p := gputlb.DefaultParams()
+	p.Scale = 0.2
+	k, proto, err := gputlb.Build("bfs", p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := gputlb.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var insts int64
+	for i := 0; i < b.N; i++ {
+		r, err := gputlb.Run(cfg, k, proto.Fork())
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += r.InstsIssued
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(insts), "ns/inst")
+	}
+}
+
 // benchEval runs the four-configuration evaluation shared by Figures 10/11.
 func benchEval(b *testing.B) []gputlb.EvalRow {
 	b.Helper()

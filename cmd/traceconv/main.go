@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"gputlb"
+	"gputlb/internal/cliutil"
 )
 
 func main() {
@@ -22,13 +23,20 @@ func main() {
 	log.SetPrefix("traceconv: ")
 
 	var (
-		bench = flag.String("bench", "", "benchmark to export")
-		out   = flag.String("o", "", "output trace file (with -bench)")
-		info  = flag.String("info", "", "trace file to summarize")
-		scale = flag.Float64("scale", 1.0, "workload scale factor")
-		seed  = flag.Int64("seed", 1, "workload generation seed")
+		bench      = flag.String("bench", "", "benchmark to export")
+		out        = flag.String("o", "", "output trace file (with -bench)")
+		info       = flag.String("info", "", "trace file to summarize")
+		scale      = flag.Float64("scale", 1.0, "workload scale factor")
+		seed       = flag.Int64("seed", 1, "workload generation seed")
+		cpuprofile = flag.String("cpuprofile", "", "write CPU profile to file")
+		memprofile = flag.String("memprofile", "", "write heap profile to file")
 	)
 	flag.Parse()
+
+	stopProfiles, err := cliutil.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	switch {
 	case *bench != "" && *out != "":
@@ -67,5 +75,9 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if err := stopProfiles(); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -2,9 +2,13 @@
 // simulator: a cycle clock and a deterministic min-heap event queue. Events
 // scheduled for the same cycle fire in insertion order so simulations are
 // bit-reproducible.
+//
+// The queue stores events by value in a hand-rolled binary heap: scheduling
+// an event allocates nothing beyond amortized slice growth, which matters
+// because the simulator schedules one or more events per issued warp
+// instruction. (container/heap would box every event through an interface
+// and allocate it on the heap.)
 package engine
-
-import "container/heap"
 
 // Cycle is a point in simulated time, in GPU core clock cycles.
 type Cycle int64
@@ -14,13 +18,21 @@ type Event struct {
 	At Cycle
 	Fn func()
 
-	seq   int64 // tie-break: FIFO among same-cycle events
-	index int   // heap bookkeeping
+	seq int64 // tie-break: FIFO among same-cycle events
+}
+
+// before is the heap order: earliest cycle first, insertion order within a
+// cycle.
+func (e Event) before(o Event) bool {
+	if e.At != o.At {
+		return e.At < o.At
+	}
+	return e.seq < o.seq
 }
 
 // Queue is a deterministic event queue. The zero value is ready to use.
 type Queue struct {
-	h       eventHeap
+	h       []Event
 	nextSeq int64
 }
 
@@ -28,9 +40,9 @@ type Queue struct {
 // last popped cycle) is the caller's bug; the queue does not detect it, the
 // simulator's Run loop does.
 func (q *Queue) Schedule(at Cycle, fn func()) {
-	ev := &Event{At: at, Fn: fn, seq: q.nextSeq}
+	q.h = append(q.h, Event{At: at, Fn: fn, seq: q.nextSeq})
 	q.nextSeq++
-	heap.Push(&q.h, ev)
+	q.up(len(q.h) - 1)
 }
 
 // Len reports the number of pending events.
@@ -46,11 +58,19 @@ func (q *Queue) NextCycle() Cycle {
 }
 
 // Pop removes and returns the earliest event.
-func (q *Queue) Pop() *Event {
+func (q *Queue) Pop() Event {
 	if len(q.h) == 0 {
 		panic("engine: Pop on empty queue")
 	}
-	return heap.Pop(&q.h).(*Event)
+	ev := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h[n] = Event{} // release the Fn reference
+	q.h = q.h[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	return ev
 }
 
 // RunUntil fires every event with At <= limit, in order.
@@ -60,30 +80,34 @@ func (q *Queue) RunUntil(limit Cycle) {
 	}
 }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+// up restores the heap property from child i toward the root.
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.h[i].before(q.h[parent]) {
+			return
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+// down restores the heap property from parent i toward the leaves.
+func (q *Queue) down(i int) {
+	n := len(q.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && q.h[r].before(q.h[l]) {
+			least = r
+		}
+		if !q.h[least].before(q.h[i]) {
+			return
+		}
+		q.h[i], q.h[least] = q.h[least], q.h[i]
+		i = least
+	}
 }

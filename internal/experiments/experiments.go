@@ -191,7 +191,7 @@ func (o Options) runCells(cells []simCell) ([]sim.Result, error) {
 	res, err := parallel.Map(o.ctx(), o.pool(), len(cells),
 		func(_ context.Context, i int) (sim.Result, error) {
 			c := cells[i]
-			k, as := c.spec.Build(c.params)
+			k, as := workloads.Cached(c.spec, c.params)
 			s, serr := sim.New(c.cfg, k, as)
 			if serr != nil {
 				return sim.Result{}, fmt.Errorf("%s [%s]: %w", c.spec.Name, c.label, serr)
@@ -245,7 +245,7 @@ func Table2(opt Options) ([]Table2Row, error) {
 		return nil, err
 	}
 	return mapSpecs(opt, specs, func(s workloads.Spec) (Table2Row, error) {
-		k, as := s.Build(opt.Params)
+		k, as := workloads.Cached(s, opt.Params)
 		return Table2Row{
 			Name: s.Name, Suite: s.Suite, Input: s.Input,
 			PaperFootprintGB:  s.PaperFootprintGB,
@@ -327,7 +327,7 @@ func Fig3(opt Options) ([]BinsRow, error) {
 		return nil, err
 	}
 	return mapSpecs(opt, specs, func(s workloads.Spec) (BinsRow, error) {
-		k, _ := s.Build(opt.Params)
+		k, _ := workloads.Cached(s, opt.Params)
 		return BinsRow{s.Name, chars.InterTB(k, opt.Params.PageShift, opt.MaxTBsForPairs)}, nil
 	})
 }
@@ -339,7 +339,7 @@ func Fig4(opt Options) ([]BinsRow, error) {
 		return nil, err
 	}
 	return mapSpecs(opt, specs, func(s workloads.Spec) (BinsRow, error) {
-		k, _ := s.Build(opt.Params)
+		k, _ := workloads.Cached(s, opt.Params)
 		return BinsRow{s.Name, chars.IntraTB(k, opt.Params.PageShift)}, nil
 	})
 }
@@ -372,7 +372,7 @@ func Fig5(opt Options) ([]CDFRow, error) {
 	}
 	cfg := BaselineConfig()
 	return mapSpecs(opt, specs, func(s workloads.Spec) (CDFRow, error) {
-		k, _ := s.Build(opt.Params)
+		k, _ := workloads.Cached(s, opt.Params)
 		slots := k.ConcurrentTBsPerSM(cfg)
 		return CDFRow{s.Name,
 			chars.InterleavedReuseDistance(k, opt.Params.PageShift, cfg.NumSMs, slots)}, nil
@@ -386,7 +386,7 @@ func Fig6(opt Options) ([]CDFRow, error) {
 		return nil, err
 	}
 	return mapSpecs(opt, specs, func(s workloads.Spec) (CDFRow, error) {
-		k, _ := s.Build(opt.Params)
+		k, _ := workloads.Cached(s, opt.Params)
 		return CDFRow{s.Name, chars.IsolatedReuseDistance(k, opt.Params.PageShift)}, nil
 	})
 }
@@ -728,7 +728,7 @@ func WarpReuse(opt Options) ([]BinsRow, error) {
 		return nil, err
 	}
 	return mapSpecs(opt, specs, func(s workloads.Spec) (BinsRow, error) {
-		k, _ := s.Build(opt.Params)
+		k, _ := workloads.Cached(s, opt.Params)
 		return BinsRow{s.Name, chars.IntraWarp(k, opt.Params.PageShift)}, nil
 	})
 }

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"math/bits"
+
+	"gputlb/internal/engine"
+	"gputlb/internal/vm"
+)
+
+// inflightTable tracks in-flight translation completions per VPN: the SM's
+// translation-merge window (MSHR coverage) and the shared walk-merge window
+// in front of the walkers. It replaces a Go map on the per-instruction hot
+// path with a slice-backed open-addressed table: lookups are a fibonacci
+// hash plus a short linear probe with no per-entry allocation and no map
+// iteration churn.
+//
+// Semantics match the map it replaced exactly. Entries are never explicitly
+// deleted; an entry whose done cycle has passed is semantically dead (every
+// caller checks done > now before merging), so the table reclaims dead
+// entries when it fills instead of growing without bound. Because simulated
+// time is monotone in the event loop, dropping an entry with done <= now can
+// never change a later lookup's outcome.
+type inflightTable struct {
+	entries []inflightEntry
+	mask    uint64
+	shift   uint
+	live    int
+}
+
+type inflightEntry struct {
+	valid bool
+	vpn   vm.VPN
+	ppn   vm.PPN
+	done  engine.Cycle
+}
+
+// newInflightTable sizes the table from a capacity hint (the number of
+// simultaneously-merging translations the config allows, e.g. the SM's
+// translation MSHR count): the next power of two at least 4x the hint, with
+// a floor of 64, so the steady state stays well under the resize threshold.
+func newInflightTable(hint int) *inflightTable {
+	capacity := 64
+	for capacity < 4*hint {
+		capacity <<= 1
+	}
+	t := &inflightTable{}
+	t.init(capacity)
+	return t
+}
+
+func (t *inflightTable) init(capacity int) {
+	t.entries = make([]inflightEntry, capacity)
+	t.mask = uint64(capacity - 1)
+	t.shift = uint(64 - bits.TrailingZeros(uint(capacity)))
+	t.live = 0
+}
+
+// slotOf is the fibonacci-hash home slot for vpn.
+func (t *inflightTable) slotOf(vpn vm.VPN) uint64 {
+	return (uint64(vpn) * 0x9E3779B97F4A7C15) >> t.shift
+}
+
+// get returns the tracked completion for vpn. Callers must still check
+// done against the current cycle, exactly as with the map.
+func (t *inflightTable) get(vpn vm.VPN) (inflight, bool) {
+	for i := t.slotOf(vpn); ; i = (i + 1) & t.mask {
+		e := &t.entries[i]
+		if !e.valid {
+			return inflight{}, false
+		}
+		if e.vpn == vpn {
+			return inflight{ppn: e.ppn, done: e.done}, true
+		}
+	}
+}
+
+// put inserts or overwrites vpn's entry. now is the current cycle, used only
+// to decide which entries are reclaimable if the table must make room.
+func (t *inflightTable) put(vpn vm.VPN, ppn vm.PPN, done, now engine.Cycle) {
+	for i := t.slotOf(vpn); ; i = (i + 1) & t.mask {
+		e := &t.entries[i]
+		if e.valid && e.vpn != vpn {
+			continue
+		}
+		if !e.valid {
+			t.live++
+		}
+		*e = inflightEntry{valid: true, vpn: vpn, ppn: ppn, done: done}
+		break
+	}
+	// Past 3/4 load, rebuild keeping only entries still in flight; double
+	// the capacity only if the live set itself is the problem.
+	if 4*t.live > 3*len(t.entries) {
+		t.compact(now)
+	}
+}
+
+func (t *inflightTable) compact(now engine.Cycle) {
+	old := t.entries
+	alive := 0
+	for i := range old {
+		if old[i].valid && old[i].done > now {
+			alive++
+		}
+	}
+	capacity := len(old)
+	for 4*alive > 2*capacity { // rebuild at <=1/2 load so puts stay cheap
+		capacity <<= 1
+	}
+	t.init(capacity)
+	for i := range old {
+		e := &old[i]
+		if !e.valid || e.done <= now {
+			continue
+		}
+		for j := t.slotOf(e.vpn); ; j = (j + 1) & t.mask {
+			if !t.entries[j].valid {
+				t.entries[j] = *e
+				t.live++
+				break
+			}
+		}
+	}
+}

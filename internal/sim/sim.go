@@ -101,12 +101,28 @@ type inflight struct {
 	done engine.Cycle
 }
 
+// pageDone is one coalesced page's resolved translation within a memory
+// instruction; executeMem fills a reused buffer of these per issue.
+type pageDone struct {
+	vpn  vm.VPN
+	ppn  vm.PPN
+	done engine.Cycle
+	hit  bool
+}
+
 type warpState struct {
 	sm    *smState
 	slot  int
 	seq   int64 // dispatch order: GTO "oldest" priority
 	insts []trace.Inst
 	pc    int
+	// wake and retire are this warp's event callbacks, built once at
+	// dispatch: a warp issues thousands of instructions and scheduling a
+	// fresh closure for each was a top allocation site. At most one is
+	// pending at a time (a warp is either waiting to wake or retiring), so
+	// reuse is safe.
+	wake   func()
+	retire func()
 }
 
 type slotState struct {
@@ -124,9 +140,10 @@ type smState struct {
 	ready       []*warpState // wakeable warps, unordered; GTO picks from here
 	last        *warpState   // greedy: last issued warp keeps priority
 	tickPending bool
+	tickFn      func() // prebuilt issue-tick callback (one pending at a time)
 	nextIssueAt engine.Cycle
 	rrCursor    int64 // loose round-robin rotation point
-	inflight    map[vm.VPN]inflight
+	inflight    *inflightTable
 	// missHandlers are the SM's translation-miss MSHRs: an L1 TLB miss
 	// occupies one until the translation returns, so miss floods back up
 	// into the SM instead of being hidden by warp parallelism.
@@ -151,7 +168,7 @@ type Simulator struct {
 	l2cache    *cache.Cache
 	xbar       *noc.Crossbar
 	mem        *dram.DRAM
-	l2Inflight map[vm.VPN]inflight
+	l2Inflight *inflightTable
 	// walkerMeter models the shared walker pool's throughput (NumWalkers
 	// concurrent walks of WalkLatency cycles each); l2tlbMeters model the
 	// shared L2 TLB's banked lookup ports (the L2 TLB is distributed
@@ -172,6 +189,19 @@ type Simulator struct {
 	lastDone        engine.Cycle
 	warpSeq         int64
 	dispatchPending bool
+	dispatchFn      func() // prebuilt periodic-dispatch callback
+	sampleFn        func() // prebuilt sampling callback
+
+	// Hot-path scratch: one coalesced memory instruction produces at most
+	// WarpSize pages/lines, so these buffers are sized once and reused for
+	// every instruction instead of being reallocated per issue. statusBuf
+	// backs the TB scheduler's per-SM status vector the same way.
+	pageBuf   []vm.VPN
+	lineBuf   []vm.Addr
+	transBuf  []pageDone
+	pickBuf   []vm.VPN // trans-aware warp scheduler's residency probes
+	orderBuf  []int
+	statusBuf []sched.SMStatus
 
 	pwc *tlb.TLB
 
@@ -221,10 +251,20 @@ func New(cfg arch.Config, kernel *trace.Kernel, as *vm.AddressSpace) (*Simulator
 		policy:      sched.NewPolicy(cfg.TBScheduler),
 		l2cache:     cache.New(cfg.L2Cache),
 		l2tlbMeters: make([]noc.Meter, cfg.L2TLBPorts),
-		l2Inflight:  make(map[vm.VPN]inflight),
+		l2Inflight:  newInflightTable(cfg.NumSMs * cfg.TranslationMSHRs),
 		lineShift:   uintLog2(cfg.L1Cache.LineBytes),
 		pageShift:   cfg.PageShift(),
+		pageBuf:     make([]vm.VPN, 0, arch.WarpSize),
+		lineBuf:     make([]vm.Addr, 0, arch.WarpSize),
+		transBuf:    make([]pageDone, arch.WarpSize),
+		pickBuf:     make([]vm.VPN, 0, arch.WarpSize),
+		statusBuf:   make([]sched.SMStatus, cfg.NumSMs),
 	}
+	s.dispatchFn = func() {
+		s.dispatchPending = false
+		s.dispatch()
+	}
+	s.sampleFn = s.sample
 	s.xbar = noc.New(cfg.NumSMs, cfg.MemPartitions, cfg.InterconnectLatency, cfg.NoCServiceCycles)
 	s.mem = dram.New(dram.Config{
 		Partitions:    cfg.MemPartitions,
@@ -271,9 +311,10 @@ func New(cfg arch.Config, kernel *trace.Kernel, as *vm.AddressSpace) (*Simulator
 			l1tlb:        tlb.New(cfg.L1TLB, opt),
 			l1cache:      cache.New(cfg.L1Cache),
 			slots:        make([]slotState, slots),
-			inflight:     make(map[vm.VPN]inflight),
+			inflight:     newInflightTable(cfg.TranslationMSHRs),
 			missHandlers: make([]engine.Cycle, cfg.TranslationMSHRs),
 		}
+		sm.tickFn = func() { s.tick(sm) }
 		sm.l1tlb.ConfigureSlots(slots)
 		s.sms = append(s.sms, sm)
 	}
@@ -339,7 +380,7 @@ func uintLog2(v int) uint {
 func (s *Simulator) Run() Result {
 	s.dispatch()
 	if s.cfg.SampleInterval > 0 {
-		s.queue.Schedule(engine.Cycle(s.cfg.SampleInterval), s.sample)
+		s.queue.Schedule(engine.Cycle(s.cfg.SampleInterval), s.sampleFn)
 	}
 	for s.queue.Len() > 0 {
 		ev := s.queue.Pop()
@@ -373,7 +414,7 @@ func (s *Simulator) sample() {
 	})
 	s.lastSampleHits, s.lastSampleAcc, s.lastSampleWalks = hits, acc, s.walks.Value()
 	if s.queue.Len() > 0 { // only while other work remains
-		s.queue.Schedule(s.clock+engine.Cycle(s.cfg.SampleInterval), s.sample)
+		s.queue.Schedule(s.clock+engine.Cycle(s.cfg.SampleInterval), s.sampleFn)
 	}
 }
 
@@ -425,7 +466,7 @@ func (s *Simulator) dispatch() {
 		if b := s.phaseBarrier(); s.nextTB >= b && s.tbsDone < b {
 			return // wait for the earlier phase to drain
 		}
-		statuses := make([]sched.SMStatus, len(s.sms))
+		statuses := s.statusBuf
 		for i, sm := range s.sms {
 			free := 0
 			for _, sl := range sm.slots {
@@ -462,6 +503,11 @@ func (s *Simulator) place(sm *smState, tbIndex int) {
 	sm.tbsRun++
 	for w := range tb.Warps {
 		ws := &warpState{sm: sm, slot: slot, seq: s.warpSeq, insts: tb.Warps[w].Insts}
+		ws.wake = func() {
+			ws.sm.ready = append(ws.sm.ready, ws)
+			s.armTick(ws.sm, s.clock)
+		}
+		ws.retire = func() { s.retireWarp(ws) }
 		s.warpSeq++
 		if len(ws.insts) == 0 {
 			s.retireWarp(ws)
@@ -484,7 +530,7 @@ func (s *Simulator) armTick(sm *smState, at engine.Cycle) {
 		at = s.clock + 1
 	}
 	sm.tickPending = true
-	s.queue.Schedule(at, func() { s.tick(sm) })
+	s.queue.Schedule(at, sm.tickFn)
 }
 
 // tick is one SM issue cycle: up to IssueWidth warps issue, greedy-then-
@@ -565,7 +611,7 @@ func (s *Simulator) pickLRR(sm *smState) int {
 func (s *Simulator) pickTransAware(sm *smState) int {
 	const maxProbe = 8
 	gto := s.pickGTO(sm)
-	order := make([]int, 0, len(sm.ready))
+	order := s.orderBuf[:0]
 	if sm.last != nil {
 		for i, ws := range sm.ready {
 			if ws == sm.last {
@@ -580,6 +626,7 @@ func (s *Simulator) pickTransAware(sm *smState) int {
 		}
 		order = append(order, i)
 	}
+	s.orderBuf = order // keep any growth so later picks stay allocation-free
 	probed := 0
 	bestIdx, bestSeq := -1, int64(-1)
 	for _, i := range order {
@@ -591,7 +638,8 @@ func (s *Simulator) pickTransAware(sm *smState) int {
 		resident := true
 		if in.IsMem() {
 			probed++
-			for _, vpn := range trace.CoalescePages(in.Addrs, s.pageShift) {
+			s.pickBuf = trace.CoalescePagesInto(s.pickBuf, in.Addrs, s.pageShift)
+			for _, vpn := range s.pickBuf {
 				if !sm.l1tlb.Contains(ws.slot, vpn) {
 					resident = false
 					break
@@ -634,14 +682,10 @@ func (s *Simulator) issue(ws *warpState) {
 		if done > s.lastDone {
 			s.lastDone = done
 		}
-		s.queue.Schedule(done, func() { s.retireWarp(ws) })
+		s.queue.Schedule(done, ws.retire)
 		return
 	}
-	s.queue.Schedule(done, func() {
-		sm := ws.sm
-		sm.ready = append(sm.ready, ws)
-		s.armTick(sm, s.clock)
-	})
+	s.queue.Schedule(done, ws.wake)
 }
 
 // retireWarp accounts a finished warp; the last warp of a TB frees the slot,
@@ -687,10 +731,7 @@ func (s *Simulator) scheduleDispatch() {
 	s.dispatchPending = true
 	period := engine.Cycle(s.cfg.TBDispatchPeriod)
 	at := (s.clock/period + 1) * period
-	s.queue.Schedule(at, func() {
-		s.dispatchPending = false
-		s.dispatch()
-	})
+	s.queue.Schedule(at, s.dispatchFn)
 }
 
 // executeMem runs one coalesced memory instruction and returns its
@@ -698,16 +739,11 @@ func (s *Simulator) scheduleDispatch() {
 // accesses of every distinct line, each starting when its page's
 // translation completes. The warp blocks until the slowest request.
 func (s *Simulator) executeMem(sm *smState, slot int, in trace.Inst) engine.Cycle {
-	pages := trace.CoalescePages(in.Addrs, s.pageShift)
+	pages := trace.CoalescePagesInto(s.pageBuf, in.Addrs, s.pageShift)
+	s.pageBuf = pages
 	s.pageRequests.Add(int64(len(pages)))
 
-	type pageDone struct {
-		vpn  vm.VPN
-		ppn  vm.PPN
-		done engine.Cycle
-		hit  bool
-	}
-	trans := make([]pageDone, len(pages))
+	trans := s.transBuf[:len(pages)]
 	instDone := s.clock + 1
 	for i, vpn := range pages {
 		ppn, done, hit := s.translate(sm, slot, vpn)
@@ -718,7 +754,8 @@ func (s *Simulator) executeMem(sm *smState, slot int, in trace.Inst) engine.Cycl
 		}
 	}
 
-	lines := trace.CoalesceLines(in.Addrs, s.cfg.L1Cache.LineBytes)
+	lines := trace.CoalesceLinesInto(s.lineBuf, in.Addrs, s.cfg.L1Cache.LineBytes)
+	s.lineBuf = lines
 	s.lineRequests.Add(int64(len(lines)))
 	linesPerPage := s.pageShift - s.lineShift
 	for _, line := range lines {
@@ -799,7 +836,7 @@ func (s *Simulator) translate(sm *smState, slot int, vpn vm.VPN) (vm.PPN, engine
 	}
 
 	// Merge with an in-flight miss to the same page from this SM (MSHR).
-	if inf, ok := sm.inflight[vpn]; ok && inf.done > s.clock {
+	if inf, ok := sm.inflight.get(vpn); ok && inf.done > s.clock {
 		if t1 > inf.done {
 			return inf.ppn, t1, false
 		}
@@ -831,20 +868,20 @@ func (s *Simulator) translate(sm *smState, slot int, vpn vm.VPN) (vm.PPN, engine
 		done := s.xbar.Return(tlbPart, sm.id, t3)
 		sm.l1tlb.Insert(slot, vpn, ppn2)
 		s.traceFill(sm.id, vpn, done, "l2tlb")
-		sm.inflight[vpn] = inflight{ppn2, done}
+		sm.inflight.put(vpn, ppn2, done, s.clock)
 		sm.missHandlers[h] = done
 		return ppn2, done, false
 	}
 
 	// Merge with a walk in flight from another SM.
-	if inf, ok := s.l2Inflight[vpn]; ok && inf.done > s.clock {
+	if inf, ok := s.l2Inflight.get(vpn); ok && inf.done > s.clock {
 		wait := inf.done
 		if t3 > wait {
 			wait = t3
 		}
 		done := s.xbar.Return(tlbPart, sm.id, wait)
 		sm.l1tlb.Insert(slot, vpn, inf.ppn)
-		sm.inflight[vpn] = inflight{inf.ppn, done}
+		sm.inflight.put(vpn, inf.ppn, done, s.clock)
 		sm.missHandlers[h] = done
 		return inf.ppn, done, false
 	}
@@ -883,9 +920,9 @@ func (s *Simulator) translate(sm *smState, slot int, vpn vm.VPN) (vm.PPN, engine
 	s.l2tlb.Insert(0, vpn, wppn)
 	sm.l1tlb.Insert(slot, vpn, wppn)
 	s.traceFill(sm.id, vpn, wdone, "walk")
-	s.l2Inflight[vpn] = inflight{wppn, wdone}
+	s.l2Inflight.put(vpn, wppn, wdone, s.clock)
 	done := s.xbar.Return(tlbPart, sm.id, wdone)
-	sm.inflight[vpn] = inflight{wppn, done}
+	sm.inflight.put(vpn, wppn, done, s.clock)
 	sm.missHandlers[h] = done
 	return wppn, done, false
 }

@@ -22,7 +22,7 @@ func pickFixture(t *testing.T) (*Simulator, *smState) {
 	sm := &smState{
 		id:       0,
 		l1tlb:    tlb.New(cfg.L1TLB, tlb.Options{Policy: arch.IndexByAddress}),
-		inflight: map[vm.VPN]inflight{},
+		inflight: newInflightTable(arch.Default().TranslationMSHRs),
 	}
 	sm.l1tlb.ConfigureSlots(4)
 	return &Simulator{cfg: cfg, pageShift: 12}, sm

@@ -1,0 +1,33 @@
+package stats
+
+// Allocation regression guards for the counter/histogram fast path: the
+// simulator increments counters and observes latencies once or more per
+// issued instruction, so these must stay plain field updates.
+
+import "testing"
+
+func TestCounterZeroAlloc(t *testing.T) {
+	r := NewRegistry("root")
+	c := r.Counter("events")
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 1000; i++ {
+			c.Inc()
+			c.Add(3)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Counter Inc/Add allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	h := NewHistogram(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		for v := int64(0); v < 1000; v++ {
+			h.Observe(v * 37)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Histogram.Observe allocated %.1f times per run, want 0", allocs)
+	}
+}

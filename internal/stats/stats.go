@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/bits"
 	"sort"
 	"strconv"
 )
@@ -151,10 +152,16 @@ func NewHistogram(buckets int) *Histogram {
 }
 
 // bucketOf returns the bucket index for v, clamped into the overflow bucket.
+// bits.Len64(v)-1 is the shift count of the old reduction loop (floor of
+// log2) computed in one instruction — Observe sits on the simulator's
+// per-instruction path.
 func (h *Histogram) bucketOf(v int64) int {
-	b := 0
-	for ; v > 1 && b < len(h.buckets)-1; v >>= 1 {
-		b++
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) - 1
+	if max := len(h.buckets) - 1; b > max {
+		return max
 	}
 	return b
 }

@@ -99,6 +99,12 @@ type TLB struct {
 	// shareCount[i] counts spill opportunities toward ShareCounterThreshold.
 	shareCount []int
 
+	// probeBuf backs the set list setsToProbe returns: lookups are the
+	// simulator's hottest loop and must not allocate. The buffer is
+	// invalidated by the next setsToProbe call, which every user tolerates
+	// (the TLB is single-goroutine and never probes itself reentrantly).
+	probeBuf []int
+
 	stats Stats
 }
 
@@ -188,7 +194,8 @@ func (t *TLB) probeKey(vpn vm.VPN) (tag vm.VPN, bit uint64) {
 }
 
 // setsToProbe lists the sets a lookup/insert for (slot, vpn) must search, in
-// priority order (own sets first, then shared neighbours' sets).
+// priority order (own sets first, then shared neighbours' sets). The
+// returned slice aliases t.probeBuf and is only valid until the next call.
 func (t *TLB) setsToProbe(slot int, vpn vm.VPN) []int {
 	if t.opt.Policy == arch.IndexByAddress {
 		tag, _ := t.probeKey(vpn)
@@ -196,10 +203,11 @@ func (t *TLB) setsToProbe(slot int, vpn vm.VPN) []int {
 		if t.opt.Compression {
 			idx = tag >> uintLog2(t.opt.CompressionSpan)
 		}
-		return []int{int(idx) & (len(t.sets) - 1)}
+		t.probeBuf = append(t.probeBuf[:0], int(idx)&(len(t.sets)-1))
+		return t.probeBuf
 	}
 	lo, hi := t.ownedSets(slot)
-	out := make([]int, 0, hi-lo+2)
+	out := t.probeBuf[:0]
 	for s := lo; s < hi; s++ {
 		out = append(out, s)
 	}
@@ -218,6 +226,7 @@ func (t *TLB) setsToProbe(slot int, vpn vm.VPN) []int {
 			}
 		}
 	}
+	t.probeBuf = out
 	return out
 }
 

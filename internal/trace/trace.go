@@ -113,51 +113,57 @@ func (k *Kernel) MemInsts() int {
 // addresses, preserving first-occurrence order (the coalescing unit issues
 // one request per distinct line).
 func CoalesceLines(addrs []vm.Addr, lineBytes int) []vm.Addr {
-	out := make([]vm.Addr, 0, 4)
+	return CoalesceLinesInto(make([]vm.Addr, 0, 4), addrs, lineBytes)
+}
+
+// CoalesceLinesInto is CoalesceLines appending into dst (reset to length
+// zero), the allocation-free emit path: a caller that passes a buffer with
+// capacity arch.WarpSize never allocates. Returns the filled buffer.
+func CoalesceLinesInto(dst []vm.Addr, addrs []vm.Addr, lineBytes int) []vm.Addr {
+	dst = dst[:0]
 	shift := uintLog2(lineBytes)
-	var seen [arch.WarpSize]vm.Addr
-	n := 0
 	for _, a := range addrs {
 		line := a >> shift
 		dup := false
-		for i := 0; i < n; i++ {
-			if seen[i] == line {
+		for _, s := range dst {
+			if s == line {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			seen[n] = line
-			n++
-			out = append(out, line)
+			dst = append(dst, line)
 		}
 	}
-	return out
+	return dst
 }
 
 // CoalescePages merges lane addresses into unique virtual page numbers,
 // preserving first-occurrence order — the translation requests one warp
 // memory instruction sends to the L1 TLB.
 func CoalescePages(addrs []vm.Addr, pageShift uint) []vm.VPN {
-	out := make([]vm.VPN, 0, 2)
-	var seen [arch.WarpSize]vm.VPN
-	n := 0
+	return CoalescePagesInto(make([]vm.VPN, 0, 2), addrs, pageShift)
+}
+
+// CoalescePagesInto is CoalescePages appending into dst (reset to length
+// zero), the allocation-free emit path used by the simulator's per-
+// instruction loop. Returns the filled buffer.
+func CoalescePagesInto(dst []vm.VPN, addrs []vm.Addr, pageShift uint) []vm.VPN {
+	dst = dst[:0]
 	for _, a := range addrs {
 		p := vm.VPN(a >> pageShift)
 		dup := false
-		for i := 0; i < n; i++ {
-			if seen[i] == p {
+		for _, s := range dst {
+			if s == p {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			seen[n] = p
-			n++
-			out = append(out, p)
+			dst = append(dst, p)
 		}
 	}
-	return out
+	return dst
 }
 
 func uintLog2(v int) uint {

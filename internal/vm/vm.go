@@ -196,6 +196,8 @@ type AddressSpace struct {
 	pt        *PageTable
 	frames    *FrameAllocator
 	pageShift uint
+	seed      int64
+	scatter   int
 	nextVA    Addr
 	regions   []Region
 	faults    uint64
@@ -213,8 +215,24 @@ func NewAddressSpace(pageShift uint, seed int64, scatter int) *AddressSpace {
 		pt:        NewPageTable(pageShift),
 		frames:    NewFrameAllocator(seed, scatter),
 		pageShift: pageShift,
+		seed:      seed,
+		scatter:   scatter,
 		nextVA:    regionAlign, // keep VA 0 unmapped
 	}
+}
+
+// Fork returns a pristine address space with the same construction
+// parameters and region layout as as, but an empty page table and a fresh
+// frame allocator: exactly the state a workload builder leaves behind, since
+// builders only Alloc regions and never Touch pages. It lets one built
+// kernel trace be simulated many times — each run demand-pages its own
+// fork — without rebuilding the workload. Forking a space whose pages have
+// already been touched does not carry the mappings over.
+func (as *AddressSpace) Fork() *AddressSpace {
+	f := NewAddressSpace(as.pageShift, as.seed, as.scatter)
+	f.nextVA = as.nextVA
+	f.regions = append([]Region(nil), as.regions...)
+	return f
 }
 
 // PageShift returns the base page shift.

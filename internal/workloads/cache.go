@@ -1,0 +1,85 @@
+package workloads
+
+import (
+	"sync"
+
+	"gputlb/internal/trace"
+	"gputlb/internal/vm"
+)
+
+// This file is the process-wide trace cache: every (benchmark, Params) pair
+// is built exactly once and the resulting kernel trace is shared, read-only,
+// by every simulation cell that needs it. A sweep like the Figure 10/11
+// evaluation simulates each workload under four configurations; without the
+// cache it regenerates the identical trace four times. Kernel traces are
+// immutable once built (the simulator only reads them), so the cached kernel
+// is handed out as-is with no locking on the warm path. Address spaces are
+// mutated by simulation (demand paging), so each caller gets a fresh
+// vm.AddressSpace fork of the builder's pristine allocation layout instead.
+
+// cacheKey identifies one build. Params is a comparable struct of scalars,
+// so the pair is directly usable as a map key.
+type cacheKey struct {
+	name   string
+	params Params
+}
+
+// cacheEntry holds one built workload. once guards the build so concurrent
+// sweep workers asking for the same key build it a single time; kernel and
+// proto are written inside the once and read-only afterwards.
+type cacheEntry struct {
+	once   sync.Once
+	kernel *trace.Kernel
+	proto  *vm.AddressSpace
+}
+
+// traceCache maps cacheKey -> *cacheEntry. sync.Map keeps the warm read
+// path lock-free, which is what parallel sweeps hit on every cell.
+var traceCache sync.Map
+
+// Cached returns the kernel trace for (spec, p), building it on first use
+// and sharing the immutable result across all callers, plus a fresh address
+// space for this caller to simulate in. The kernel must be treated as
+// read-only; the address space is the caller's own.
+func Cached(spec Spec, p Params) (*trace.Kernel, *vm.AddressSpace) {
+	key := cacheKey{spec.Name, p}
+	v, ok := traceCache.Load(key)
+	if !ok {
+		v, _ = traceCache.LoadOrStore(key, &cacheEntry{})
+	}
+	e := v.(*cacheEntry)
+	e.once.Do(func() {
+		e.kernel, e.proto = spec.Build(p)
+	})
+	return e.kernel, e.proto.Fork()
+}
+
+// CachedByName is Cached keyed by benchmark name.
+func CachedByName(name string, p Params) (*trace.Kernel, *vm.AddressSpace, bool) {
+	spec, ok := ByName(name)
+	if !ok {
+		return nil, nil, false
+	}
+	k, as := Cached(spec, p)
+	return k, as, true
+}
+
+// ClearTraceCache drops every cached build. Benchmarks use it to charge
+// first-build cost to each measurement; long-lived processes sweeping many
+// seeds can use it to bound memory.
+func ClearTraceCache() {
+	traceCache.Range(func(k, _ any) bool {
+		traceCache.Delete(k)
+		return true
+	})
+}
+
+// TraceCacheLen reports how many builds are currently cached.
+func TraceCacheLen() int {
+	n := 0
+	traceCache.Range(func(_, _ any) bool {
+		n++
+		return true
+	})
+	return n
+}

@@ -1,0 +1,128 @@
+package workloads
+
+// Tests for the process-wide trace cache: identity sharing of the kernel,
+// fork semantics of the address space, key separation, and safety under
+// concurrent first access.
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"gputlb/internal/vm"
+)
+
+func testSpec(t *testing.T, name string) Spec {
+	t.Helper()
+	spec, ok := ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	return spec
+}
+
+func TestCachedSharesKernelAndForksAddressSpace(t *testing.T) {
+	ClearTraceCache()
+	t.Cleanup(ClearTraceCache)
+	spec := testSpec(t, "atax")
+	p := DefaultParams()
+	p.Scale = 0.1
+
+	k1, as1 := Cached(spec, p)
+	k2, as2 := Cached(spec, p)
+	if k1 != k2 {
+		t.Error("Cached returned distinct kernels for the same key; the trace should be shared")
+	}
+	if as1 == as2 {
+		t.Error("Cached returned the same address space twice; each caller must get its own fork")
+	}
+	if TraceCacheLen() != 1 {
+		t.Errorf("cache holds %d entries after one key, want 1", TraceCacheLen())
+	}
+
+	// A fork must be indistinguishable from a fresh build: same region
+	// layout, and same demand-paging behaviour from a clean page table.
+	kFresh, asFresh := spec.Build(p)
+	if !reflect.DeepEqual(k1, kFresh) {
+		t.Error("cached kernel differs from a fresh build")
+	}
+	a := vm.Addr(k1.TBs[0].Warps[0].Insts[0].Addrs[0])
+	p1, f1 := as1.Touch(a)
+	pf, ff := asFresh.Touch(a)
+	if p1 != pf || f1 != ff {
+		t.Errorf("forked Touch = (%v,%v), fresh Touch = (%v,%v)", p1, f1, pf, ff)
+	}
+	// The sibling fork saw none of that mutation.
+	p2, f2 := as2.Touch(a)
+	if p2 != p1 || f2 != f1 {
+		t.Errorf("sibling fork Touch = (%v,%v), want the same first-touch result (%v,%v)", p2, f2, p1, f1)
+	}
+}
+
+func TestCachedKeySeparation(t *testing.T) {
+	ClearTraceCache()
+	t.Cleanup(ClearTraceCache)
+	p := DefaultParams()
+	p.Scale = 0.1
+	q := p
+	q.Seed = p.Seed + 1
+
+	kp, _ := Cached(testSpec(t, "atax"), p)
+	kq, _ := Cached(testSpec(t, "atax"), q)
+	ko, _ := Cached(testSpec(t, "mvt"), p)
+	if kp == kq {
+		t.Error("different Params share one cache entry")
+	}
+	if kp == ko {
+		t.Error("different benchmarks share one cache entry")
+	}
+	if TraceCacheLen() != 3 {
+		t.Errorf("cache holds %d entries, want 3", TraceCacheLen())
+	}
+}
+
+func TestCachedConcurrentFirstAccess(t *testing.T) {
+	ClearTraceCache()
+	t.Cleanup(ClearTraceCache)
+	spec := testSpec(t, "mvt")
+	p := DefaultParams()
+	p.Scale = 0.1
+
+	const workers = 8
+	kernels := make([]interface{ MemInsts() int }, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k, as := Cached(spec, p)
+			kernels[i] = k
+			if as == nil {
+				t.Error("nil address space")
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if kernels[i] != kernels[0] {
+			t.Fatalf("worker %d got a different kernel; the build ran more than once", i)
+		}
+	}
+	if TraceCacheLen() != 1 {
+		t.Errorf("cache holds %d entries after concurrent access to one key, want 1", TraceCacheLen())
+	}
+}
+
+func TestCachedByName(t *testing.T) {
+	ClearTraceCache()
+	t.Cleanup(ClearTraceCache)
+	p := DefaultParams()
+	p.Scale = 0.1
+	k, as, ok := CachedByName("atax", p)
+	if !ok || k == nil || as == nil {
+		t.Fatalf("CachedByName(atax) = (%v, %v, %v), want a build", k, as, ok)
+	}
+	if _, _, ok := CachedByName("no-such-bench", p); ok {
+		t.Error("CachedByName accepted an unknown benchmark")
+	}
+}
