@@ -6,16 +6,20 @@
 #   make test-race  full suite under the race detector
 #   make bench      regenerate every figure at experiment scale
 #   make bench-json refresh BENCH_sim.json (wall-clock + allocs/op) on this
-#                   machine; commit the result alongside perf-sensitive changes
+#                   machine; commit the result alongside perf-sensitive changes.
+#                   Measures the in-process simulator path only — the gputlbd
+#                   service layer sits above it and does not affect these numbers
 #   make perf-smoke cheap allocation-regression gate against the committed
 #                   BENCH_sim.json (no wall-clock comparison, CI-safe)
 #   make fuzz       a short decoder fuzz run
 #   make golden     refresh the golden stats snapshot after an intentional
 #                   timing-model change (inspect the diff before committing)
+#   make docs-lint  fail on undocumented exported identifiers and on
+#                   internal packages missing a doc.go package comment
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-json perf-smoke fuzz fuzz-seeds golden ci
+.PHONY: all build vet test test-race bench bench-json perf-smoke fuzz fuzz-seeds golden docs-lint ci
 
 all: vet build test
 
@@ -54,4 +58,10 @@ fuzz-seeds:
 golden:
 	$(GO) test ./internal/experiments -run TestGoldenStats -update
 
-ci: vet build test-race fuzz-seeds
+# docs-lint layers cmd/doclint's conventions (documented exports in the
+# public package, doc.go in every internal package, package comments on
+# commands) on top of go vet.
+docs-lint: vet
+	$(GO) run ./cmd/doclint .
+
+ci: vet build test-race fuzz-seeds docs-lint

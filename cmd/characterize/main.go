@@ -9,9 +9,11 @@
 //	characterize              # everything
 //	characterize -fig 4       # intra-TB reuse only
 //	characterize -bench bfs,mvt -fig 5
+//	characterize -daemon http://localhost:8372 -fig 2   # simulate on a gputlbd
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +24,7 @@ import (
 
 	"gputlb"
 	"gputlb/internal/cliutil"
+	"gputlb/internal/jobs"
 )
 
 func main() {
@@ -29,39 +32,23 @@ func main() {
 	log.SetPrefix("characterize: ")
 
 	var (
-		fig        = flag.String("fig", "all", "what to produce: table2 | 2 | 3 | 4 | 5 | 6 | all")
-		bench      = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
-		scale      = flag.Float64("scale", 1.0, "workload scale factor")
-		seed       = flag.Int64("seed", 1, "workload generation seed")
-		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells (results are identical at any value)")
-		jsonOut    = flag.Bool("json", false, "emit the row structs as JSON instead of tables")
-		statsOut   = flag.String("stats-out", "", "write every simulated cell's full stats tree to this file (.csv for CSV, else JSON; only Figure 2 simulates)")
-		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON of all simulated cells (open in chrome://tracing or Perfetto)")
-		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		fig      = flag.String("fig", "all", "what to produce: table2 | 2 | 3 | 4 | 5 | 6 | all")
+		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		seed     = flag.Int64("seed", 1, "workload generation seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells (results are identical at any value)")
+		jsonOut  = flag.Bool("json", false, "emit the row structs as JSON instead of tables")
+		daemon   = flag.String("daemon", "", "submit the Figure 2 sweep to a gputlbd at this URL instead of simulating in-process")
+		out      cliutil.OutputFlags
 	)
+	out.Register(flag.CommandLine)
 	flag.Parse()
 
-	stopProfiles, err := cliutil.StartProfiles(*cpuprofile, *memprofile)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	opt := gputlb.DefaultExperimentOptions()
-	opt.Params.Scale = *scale
-	opt.Params.Seed = *seed
-	opt.Parallelism = *parallel
+	var benchmarks []string
 	if *bench != "" {
-		opt.Benchmarks = strings.Split(*bench, ",")
-	}
-	if *statsOut != "" {
-		opt.StatsDump = &gputlb.StatsDump{}
-	}
-	if *traceOut != "" {
-		opt.Tracer = gputlb.NewTracer(0)
+		benchmarks = strings.Split(*bench, ",")
 	}
 
-	want := func(name string) bool { return *fig == "all" || *fig == name }
 	emit := func(name, table string, rows any) {
 		if *jsonOut {
 			enc := json.NewEncoder(os.Stdout)
@@ -73,6 +60,35 @@ func main() {
 		}
 		fmt.Println(table)
 	}
+
+	if *daemon != "" {
+		// Only Figure 2 simulates; the reuse characterizations are trace
+		// analyses that stay local.
+		if *fig != "2" {
+			log.Fatalf("-daemon runs the simulating figure only; use -fig 2 (got -fig %s)", *fig)
+		}
+		rows, err := fig2ViaDaemon(*daemon, benchmarks, *scale, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("fig2", gputlb.RenderFig2(rows), rows)
+		return
+	}
+
+	stopProfiles, err := out.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := gputlb.DefaultExperimentOptions()
+	opt.Params.Scale = *scale
+	opt.Params.Seed = *seed
+	opt.Parallelism = *parallel
+	opt.Benchmarks = benchmarks
+	opt.StatsDump = out.NewStatsDump()
+	opt.Tracer = out.NewTracer()
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
 
 	if want("table2") {
 		rows, err := gputlb.Table2(opt)
@@ -117,17 +133,47 @@ func main() {
 		emit("fig6", gputlb.RenderCDF("Figure 6 — intra-TB reuse distance CDF, one TB at a time", rows), rows)
 	}
 
-	if *statsOut != "" {
-		if err := cliutil.ExportStatsDump(*statsOut, opt.StatsDump); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if *traceOut != "" {
-		if err := cliutil.ExportTrace(*traceOut, opt.Tracer); err != nil {
-			log.Fatal(err)
-		}
+	if err := out.Export(opt.StatsDump, opt.Tracer); err != nil {
+		log.Fatal(err)
 	}
 	if err := stopProfiles(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// fig2ViaDaemon runs the Figure 2 capacity sweep on a gputlbd and
+// reconstructs the rows from the job's cell results.
+func fig2ViaDaemon(baseURL string, benchmarks []string, scale float64, seed int64) ([]gputlb.Fig2Row, error) {
+	c := &jobs.Client{BaseURL: baseURL}
+	id, err := c.Submit(jobs.JobSpec{
+		Name:       "characterize-fig2",
+		Benchmarks: benchmarks,
+		Configs:    []string{"64-entry", "256-entry"},
+		Scale:      scale,
+		Seed:       seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "characterize: submitted as %s; polling...\n", id)
+	st, err := c.Wait(context.Background(), id, 0)
+	if err != nil {
+		return nil, err
+	}
+	if st.State != jobs.StateDone {
+		return nil, fmt.Errorf("job %s %s: %s", id, st.State, st.Error)
+	}
+	res, err := c.Result(id)
+	if err != nil {
+		return nil, err
+	}
+	var rows []gputlb.Fig2Row
+	for i := 0; i+2 <= len(res.Cells); i += 2 {
+		rows = append(rows, gputlb.Fig2Row{
+			Bench:  res.Cells[i].Bench,
+			Hit64:  res.Cells[i].L1TLBHitRate,
+			Hit256: res.Cells[i+1].L1TLBHitRate,
+		})
+	}
+	return rows, nil
 }

@@ -1,0 +1,184 @@
+// Command doclint enforces the repository's documentation conventions,
+// beyond what go vet checks:
+//
+//   - every exported identifier in the public package (the module root)
+//     carries a doc comment;
+//   - every internal package has a doc.go whose package comment explains
+//     the package's role;
+//   - every command has a package comment describing its usage.
+//
+// It exits non-zero listing each violation, so `make docs-lint` (and CI)
+// fail when an undocumented identifier or an uncommented package lands.
+//
+//	doclint [module-root]
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+	report := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	lintPublicPackage(root, report)
+	lintInternalPackages(filepath.Join(root, "internal"), report)
+	lintCommands(filepath.Join(root, "cmd"), report)
+
+	sort.Strings(problems)
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// parseDir parses the non-test Go files of one directory.
+func parseDir(dir string) (map[string]*ast.Package, *token.FileSet, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	return pkgs, fset, err
+}
+
+// lintPublicPackage requires a doc comment on every exported top-level
+// identifier of the package in dir. A comment on a grouped declaration
+// (`// Architectural enums.` above a const block) covers the group.
+func lintPublicPackage(dir string, report func(string, ...any)) {
+	pkgs, fset, err := parseDir(dir)
+	if err != nil {
+		report("%s: %v", dir, err)
+		return
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil {
+						report("%s: exported %s %s is undocumented",
+							fset.Position(d.Pos()), declKind(d), d.Name.Name)
+					}
+				case *ast.GenDecl:
+					lintGenDecl(fset, d, report)
+				}
+			}
+		}
+	}
+}
+
+func declKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// lintGenDecl checks a const/var/type declaration. The declaration's own
+// doc comment covers every spec inside it; otherwise each exported spec
+// needs its own.
+func lintGenDecl(fset *token.FileSet, d *ast.GenDecl, report func(string, ...any)) {
+	if d.Tok != token.CONST && d.Tok != token.VAR && d.Tok != token.TYPE {
+		return
+	}
+	if d.Doc != nil {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+				report("%s: exported type %s is undocumented", fset.Position(s.Pos()), s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report("%s: exported %s %s is undocumented",
+						fset.Position(s.Pos()), d.Tok, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// lintInternalPackages requires each package under dir to have a doc.go
+// carrying the package comment.
+func lintInternalPackages(dir string, report func(string, ...any)) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		report("%s: %v", dir, err)
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		pkgDir := filepath.Join(dir, e.Name())
+		docPath := filepath.Join(pkgDir, "doc.go")
+		if _, err := os.Stat(docPath); err != nil {
+			report("%s: package has no doc.go", pkgDir)
+			continue
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, docPath, nil, parser.ParseComments)
+		if err != nil {
+			report("%s: %v", docPath, err)
+			continue
+		}
+		if f.Doc == nil || len(strings.TrimSpace(f.Doc.Text())) == 0 {
+			report("%s: doc.go has no package comment", docPath)
+		} else if !strings.HasPrefix(f.Doc.Text(), "Package "+f.Name.Name) {
+			report("%s: package comment must start with %q", docPath, "Package "+f.Name.Name)
+		}
+	}
+}
+
+// lintCommands requires a package comment (on any file) for each command.
+func lintCommands(dir string, report func(string, ...any)) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		report("%s: %v", dir, err)
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		cmdDir := filepath.Join(dir, e.Name())
+		pkgs, _, err := parseDir(cmdDir)
+		if err != nil {
+			report("%s: %v", cmdDir, err)
+			continue
+		}
+		for _, pkg := range pkgs {
+			documented := false
+			for _, file := range pkg.Files {
+				if file.Doc != nil && strings.TrimSpace(file.Doc.Text()) != "" {
+					documented = true
+				}
+			}
+			if !documented {
+				report("%s: command has no package comment", cmdDir)
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLintPublicPackageFlagsUndocumented(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "lib.go"), `// Package lib is documented.
+package lib
+
+// Documented has a comment.
+func Documented() {}
+
+func Undocumented() {}
+
+type Bare struct{}
+
+// Grouped constants share the declaration comment.
+const (
+	A = 1
+	B = 2
+)
+
+var Naked = 3
+`)
+	var problems []string
+	lintPublicPackage(dir, func(f string, a ...any) {
+		problems = append(problems, applyf(f, a))
+	})
+	wantSubstrings := []string{"function Undocumented", "type Bare", "var Naked"}
+	if len(problems) != len(wantSubstrings) {
+		t.Fatalf("got %d problems %v, want %d", len(problems), problems, len(wantSubstrings))
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no problem mentioning %q in %v", want, problems)
+		}
+	}
+}
+
+func TestLintInternalPackages(t *testing.T) {
+	dir := t.TempDir()
+	// good: has doc.go with a proper package comment
+	write(t, filepath.Join(dir, "good", "doc.go"), "// Package good does things.\npackage good\n")
+	// bad1: no doc.go at all
+	write(t, filepath.Join(dir, "bad1", "bad1.go"), "package bad1\n")
+	// bad2: doc.go whose comment does not follow the Package convention
+	write(t, filepath.Join(dir, "bad2", "doc.go"), "// does stuff\npackage bad2\n")
+	var problems []string
+	lintInternalPackages(dir, func(f string, a ...any) {
+		problems = append(problems, applyf(f, a))
+	})
+	if len(problems) != 2 {
+		t.Fatalf("got %v, want 2 problems", problems)
+	}
+	for _, p := range problems {
+		if strings.Contains(p, "good") {
+			t.Errorf("documented package flagged: %s", p)
+		}
+	}
+}
+
+func TestLintCommands(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "tool", "main.go"), "// Command tool runs.\npackage main\n\nfunc main() {}\n")
+	write(t, filepath.Join(dir, "naked", "main.go"), "package main\n\nfunc main() {}\n")
+	var problems []string
+	lintCommands(dir, func(f string, a ...any) {
+		problems = append(problems, applyf(f, a))
+	})
+	if len(problems) != 1 || !strings.Contains(problems[0], "naked") {
+		t.Fatalf("got %v, want exactly the naked command flagged", problems)
+	}
+}
+
+// applyf renders a report call the way main does.
+func applyf(format string, args []any) string {
+	return fmt.Sprintf(format, args...)
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"gputlb"
+	"gputlb/internal/jobs"
+)
+
+// runViaDaemon submits the requested figure's grid to a gputlbd and
+// reconstructs the figure rows from the returned cell results. The cells
+// are deterministic, so the daemon path renders exactly what an
+// in-process run would.
+func runViaDaemon(baseURL, fig string, benchmarks []string, scale float64, seed int64, jsonOut bool) error {
+	c := &jobs.Client{BaseURL: baseURL}
+	want := func(name string) bool { return fig == "all" || fig == name }
+	emit := func(name, table string, rows any) error {
+		if jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(map[string]any{name: rows})
+		}
+		fmt.Println(table)
+		return nil
+	}
+
+	// submit runs one grid remotely and returns the cell results grouped
+	// per benchmark (configs-per-benchmark stride, matching Normalize's
+	// benchmark-major expansion).
+	submit := func(name string, configs []string) ([][]jobs.CellResult, error) {
+		id, err := c.Submit(jobs.JobSpec{
+			Name:       name,
+			Benchmarks: benchmarks,
+			Configs:    configs,
+			Scale:      scale,
+			Seed:       seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "evaluate: submitted %s as %s; polling...\n", name, id)
+		st, err := c.Wait(context.Background(), id, 0)
+		if err != nil {
+			return nil, err
+		}
+		if st.State != jobs.StateDone {
+			return nil, fmt.Errorf("job %s %s: %s", id, st.State, st.Error)
+		}
+		res, err := c.Result(id)
+		if err != nil {
+			return nil, err
+		}
+		stride := len(configs)
+		grouped := make([][]jobs.CellResult, 0, len(res.Cells)/stride)
+		for i := 0; i+stride <= len(res.Cells); i += stride {
+			grouped = append(grouped, res.Cells[i:i+stride])
+		}
+		return grouped, nil
+	}
+
+	supported := map[string]bool{"all": true, "10": true, "11": true, "12": true, "hugepage": true}
+	if !supported[fig] {
+		return fmt.Errorf("-fig %s is analysis-local; only 10, 11, 12, hugepage (or all) run via -daemon", fig)
+	}
+
+	if want("10") || want("11") {
+		grouped, err := submit("evaluate-fig10-11", []string{"baseline", "sched", "sched+part", "sched+part+share"})
+		if err != nil {
+			return err
+		}
+		rows := make([]gputlb.EvalRow, len(grouped))
+		for i, g := range grouped {
+			rows[i] = gputlb.EvalRow{
+				Bench:       g[0].Bench,
+				HitBase:     g[0].L1TLBHitRate,
+				HitSched:    g[1].L1TLBHitRate,
+				HitPart:     g[2].L1TLBHitRate,
+				HitShare:    g[3].L1TLBHitRate,
+				CyclesBase:  g[0].Cycles,
+				CyclesSched: g[1].Cycles,
+				CyclesPart:  g[2].Cycles,
+				CyclesShare: g[3].Cycles,
+			}
+		}
+		if want("10") {
+			if err := emit("fig10", gputlb.RenderFig10(rows), rows); err != nil {
+				return err
+			}
+		}
+		if want("11") {
+			if err := emit("fig11", gputlb.RenderFig11(rows), rows); err != nil {
+				return err
+			}
+		}
+	}
+	if want("12") {
+		grouped, err := submit("evaluate-fig12", []string{"compression", "ours+compression"})
+		if err != nil {
+			return err
+		}
+		rows := make([]gputlb.Fig12Row, len(grouped))
+		for i, g := range grouped {
+			rows[i] = gputlb.Fig12Row{
+				Bench:           g[0].Bench,
+				Speedup:         float64(g[0].Cycles) / float64(g[1].Cycles),
+				HitCompress:     g[0].L1TLBHitRate,
+				HitOursCompress: g[1].L1TLBHitRate,
+			}
+		}
+		if err := emit("fig12", gputlb.RenderFig12(rows), rows); err != nil {
+			return err
+		}
+	}
+	if want("hugepage") {
+		grouped, err := submit("evaluate-hugepage", []string{"baseline-4K", "baseline-2M", "ours-2M"})
+		if err != nil {
+			return err
+		}
+		rows := make([]gputlb.HugePageRow, len(grouped))
+		for i, g := range grouped {
+			rows[i] = gputlb.HugePageRow{
+				Bench:         g[0].Bench,
+				Hit4K:         g[0].L1TLBHitRate,
+				Hit2M:         g[1].L1TLBHitRate,
+				SpeedupOurs2M: float64(g[1].Cycles) / float64(g[2].Cycles),
+			}
+		}
+		if err := emit("hugepage", gputlb.RenderHugePages(rows), rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -9,6 +9,7 @@
 //	evaluate                 # figures 10-12 and the huge-page study
 //	evaluate -fig 11
 //	evaluate -fig ablations
+//	evaluate -daemon http://localhost:8372 -fig 11   # run on a gputlbd
 package main
 
 import (
@@ -29,20 +30,31 @@ func main() {
 	log.SetPrefix("evaluate: ")
 
 	var (
-		fig        = flag.String("fig", "all", "what to produce: 10 | 11 | 12 | hugepage | ablations | warp | balance | seeds | all")
-		bench      = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
-		scale      = flag.Float64("scale", 1.0, "workload scale factor")
-		seed       = flag.Int64("seed", 1, "workload generation seed")
-		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells (results are identical at any value)")
-		jsonOut    = flag.Bool("json", false, "emit the row structs as JSON instead of tables")
-		statsOut   = flag.String("stats-out", "", "write every simulated cell's full stats tree to this file (.csv for CSV, else JSON)")
-		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON of all simulated cells (open in chrome://tracing or Perfetto)")
-		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		fig      = flag.String("fig", "all", "what to produce: 10 | 11 | 12 | hugepage | ablations | warp | balance | seeds | all")
+		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		seed     = flag.Int64("seed", 1, "workload generation seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells (results are identical at any value)")
+		jsonOut  = flag.Bool("json", false, "emit the row structs as JSON instead of tables")
+		daemon   = flag.String("daemon", "", "submit the sweep to a gputlbd at this URL instead of running in-process (figs 10/11/12/hugepage)")
+		out      cliutil.OutputFlags
 	)
+	out.Register(flag.CommandLine)
 	flag.Parse()
 
-	stopProfiles, err := cliutil.StartProfiles(*cpuprofile, *memprofile)
+	var benchmarks []string
+	if *bench != "" {
+		benchmarks = strings.Split(*bench, ",")
+	}
+
+	if *daemon != "" {
+		if err := runViaDaemon(*daemon, *fig, benchmarks, *scale, *seed, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	stopProfiles, err := out.Start()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,15 +63,9 @@ func main() {
 	opt.Params.Scale = *scale
 	opt.Params.Seed = *seed
 	opt.Parallelism = *parallel
-	if *bench != "" {
-		opt.Benchmarks = strings.Split(*bench, ",")
-	}
-	if *statsOut != "" {
-		opt.StatsDump = &gputlb.StatsDump{}
-	}
-	if *traceOut != "" {
-		opt.Tracer = gputlb.NewTracer(0)
-	}
+	opt.Benchmarks = benchmarks
+	opt.StatsDump = out.NewStatsDump()
+	opt.Tracer = out.NewTracer()
 
 	want := func(name string) bool { return *fig == "all" || *fig == name }
 	emit := func(name, table string, rows any) {
@@ -155,15 +161,8 @@ func main() {
 			"Future work — warp-granularity intra-warp translation reuse", rows))
 	}
 
-	if *statsOut != "" {
-		if err := cliutil.ExportStatsDump(*statsOut, opt.StatsDump); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if *traceOut != "" {
-		if err := cliutil.ExportTrace(*traceOut, opt.Tracer); err != nil {
-			log.Fatal(err)
-		}
+	if err := out.Export(opt.StatsDump, opt.Tracer); err != nil {
+		log.Fatal(err)
 	}
 	if err := stopProfiles(); err != nil {
 		log.Fatal(err)

@@ -1,0 +1,114 @@
+// Command gputlbd is the sweep daemon: an HTTP service that accepts
+// experiment-grid jobs (benchmark × configuration cells as JSON), runs
+// them on the bounded simulation pool, and journals every completed cell
+// so a killed daemon resumes with only the unfinished cells re-run.
+//
+// Endpoints: POST /jobs, GET /jobs, GET /jobs/{id}, GET /jobs/{id}/result,
+// GET /healthz, GET /metrics. A full queue sheds submissions with 429.
+// SIGINT/SIGTERM drain gracefully: in-flight cells finish and journal,
+// the current job checkpoints, and the process exits; restart with the
+// same -journal-dir to resume.
+//
+// Examples:
+//
+//	gputlbd -journal-dir /var/lib/gputlbd
+//	curl -s localhost:8372/jobs -d '{"name":"fig11","configs":["baseline","sched","sched+part","sched+part+share"]}'
+//	curl -s localhost:8372/jobs/job-0001
+//	curl -s localhost:8372/jobs/job-0001/result
+//	curl -s localhost:8372/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"gputlb/internal/jobs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gputlbd: ")
+
+	var (
+		addr         = flag.String("addr", ":8372", "listen address")
+		journalDir   = flag.String("journal-dir", "gputlbd-journal", "directory for job journals and results (resume state)")
+		parallel     = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells within a job")
+		queue        = flag.Int("queue", 16, "bounded job queue capacity; beyond it submissions get 429")
+		retries      = flag.Int("retries", 3, "max attempts per cell before it fails permanently")
+		retryBackoff = flag.Duration("retry-backoff", 100*time.Millisecond, "delay before a cell's first retry (doubles per attempt)")
+		cellTimeout  = flag.Duration("cell-timeout", 0, "per-cell attempt timeout (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", time.Minute, "max wait for in-flight cells to checkpoint on shutdown")
+		injectEvery  = flag.Int("inject-fail-every", 0, "resilience drill: fail every Nth cell attempt once (0 = off; never use in production)")
+	)
+	flag.Parse()
+
+	opt := jobs.Options{
+		Dir:           *journalDir,
+		QueueCapacity: *queue,
+		Parallelism:   *parallel,
+		MaxAttempts:   *retries,
+		RetryBackoff:  *retryBackoff,
+		CellTimeout:   *cellTimeout,
+	}
+	if *injectEvery > 0 {
+		var n atomic.Int64
+		every := int64(*injectEvery)
+		opt.InjectCellError = func(c jobs.CellSpec, attempt int) error {
+			if attempt == 1 && n.Add(1)%every == 0 {
+				return fmt.Errorf("injected failure (drill, -inject-fail-every=%d)", every)
+			}
+			return nil
+		}
+		log.Printf("fault injection armed: every %d cells fail their first attempt", every)
+	}
+
+	m, err := jobs.New(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, st := range m.Jobs() {
+		if st.State == jobs.StateCheckpointed {
+			log.Printf("resuming %s (%d/%d cells checkpointed)", st.ID, st.CellsDone, st.Cells)
+		}
+	}
+	m.Start()
+
+	srv := &http.Server{Addr: *addr, Handler: m.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving on %s (journal dir %s, %d-deep queue, %d workers)",
+		*addr, *journalDir, *queue, *parallel)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("%v: draining (in-flight cells checkpoint, then exit)", sig)
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := m.Drain(ctx); err != nil {
+		log.Printf("drain: %v (journal still holds every completed cell)", err)
+		os.Exit(1)
+	}
+	log.Print("drained cleanly; restart with the same -journal-dir to resume")
+}

@@ -39,11 +39,9 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit results as JSON")
 		tracePath   = flag.String("trace", "", "replay a binary kernel trace instead of building a benchmark")
 		configPath  = flag.String("config", "", "load the machine configuration from a JSON file")
-		statsOut    = flag.String("stats-out", "", "write the run's full stats tree to this file (.csv for CSV, else JSON)")
-		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON of the run (open in chrome://tracing or Perfetto)")
-		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memprofile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		outputs     cliutil.OutputFlags
 	)
+	outputs.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *printconfig {
@@ -92,7 +90,7 @@ func main() {
 		log.Fatalf("unknown page size %q", *pagesize)
 	}
 
-	stopProfiles, err := cliutil.StartProfiles(*cpuprofile, *memprofile)
+	stopProfiles, err := outputs.Start()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -125,20 +123,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var tracer *gputlb.Tracer
-	if *traceOut != "" {
-		tracer = gputlb.NewTracer(0)
+	tracer := outputs.NewTracer()
+	if tracer != nil {
 		s.SetTracer(tracer, 0)
 	}
 	res := s.Run()
 
-	if *statsOut != "" {
-		if err := cliutil.ExportSnapshot(*statsOut, res.Stats); err != nil {
+	// A single run exports its stats Snapshot directly rather than a
+	// sweep-shaped StatsDump, so -stats-out bypasses Export here.
+	if outputs.StatsOut != "" {
+		if err := cliutil.ExportSnapshot(outputs.StatsOut, res.Stats); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if *traceOut != "" {
-		if err := cliutil.ExportTrace(*traceOut, tracer); err != nil {
+	if outputs.TraceOut != "" {
+		if err := cliutil.ExportTrace(outputs.TraceOut, tracer); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -25,18 +25,16 @@ func main() {
 	log.SetPrefix("report: ")
 
 	var (
-		out        = flag.String("o", "", "output file (default stdout)")
-		scale      = flag.Float64("scale", 1.0, "workload scale factor")
-		seed       = flag.Int64("seed", 1, "workload generation seed")
-		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells (results are identical at any value)")
-		statsOut   = flag.String("stats-out", "", "write every simulated cell's full stats tree to this file (.csv for CSV, else JSON)")
-		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON of all simulated cells (open in chrome://tracing or Perfetto)")
-		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		out      = flag.String("o", "", "output file (default stdout)")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		seed     = flag.Int64("seed", 1, "workload generation seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells (results are identical at any value)")
+		outputs  cliutil.OutputFlags
 	)
+	outputs.Register(flag.CommandLine)
 	flag.Parse()
 
-	stopProfiles, err := cliutil.StartProfiles(*cpuprofile, *memprofile)
+	stopProfiles, err := outputs.Start()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,12 +53,8 @@ func main() {
 	opt.Params.Scale = *scale
 	opt.Params.Seed = *seed
 	opt.Parallelism = *parallel
-	if *statsOut != "" {
-		opt.StatsDump = &gputlb.StatsDump{}
-	}
-	if *traceOut != "" {
-		opt.Tracer = gputlb.NewTracer(0)
-	}
+	opt.StatsDump = outputs.NewStatsDump()
+	opt.Tracer = outputs.NewTracer()
 
 	section := func(s string) {
 		if _, err := fmt.Fprintln(w, s); err != nil {
@@ -139,15 +133,8 @@ func main() {
 	}
 	section(gputlb.RenderBins("Future work — warp-granularity intra-warp translation reuse", wr))
 
-	if *statsOut != "" {
-		if err := cliutil.ExportStatsDump(*statsOut, opt.StatsDump); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if *traceOut != "" {
-		if err := cliutil.ExportTrace(*traceOut, opt.Tracer); err != nil {
-			log.Fatal(err)
-		}
+	if err := outputs.Export(opt.StatsDump, opt.Tracer); err != nil {
+		log.Fatal(err)
 	}
 	if err := stopProfiles(); err != nil {
 		log.Fatal(err)

@@ -23,17 +23,17 @@ func main() {
 	log.SetPrefix("traceconv: ")
 
 	var (
-		bench      = flag.String("bench", "", "benchmark to export")
-		out        = flag.String("o", "", "output trace file (with -bench)")
-		info       = flag.String("info", "", "trace file to summarize")
-		scale      = flag.Float64("scale", 1.0, "workload scale factor")
-		seed       = flag.Int64("seed", 1, "workload generation seed")
-		cpuprofile = flag.String("cpuprofile", "", "write CPU profile to file")
-		memprofile = flag.String("memprofile", "", "write heap profile to file")
+		bench   = flag.String("bench", "", "benchmark to export")
+		out     = flag.String("o", "", "output trace file (with -bench)")
+		info    = flag.String("info", "", "trace file to summarize")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		seed    = flag.Int64("seed", 1, "workload generation seed")
+		outputs cliutil.OutputFlags
 	)
+	outputs.RegisterProfiles(flag.CommandLine)
 	flag.Parse()
 
-	stopProfiles, err := cliutil.StartProfiles(*cpuprofile, *memprofile)
+	stopProfiles, err := outputs.Start()
 	if err != nil {
 		log.Fatal(err)
 	}

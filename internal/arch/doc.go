@@ -1,0 +1,6 @@
+// Package arch defines the architectural configuration of the simulated
+// CPU-GPU system: SM resources, TLB geometry, page-table-walker parameters,
+// cache sizes and latencies. The defaults reproduce Table III of the paper
+// (16 SMs, 64-entry 4-way per-SM L1 TLBs, 512-entry 16-way shared L2 TLB,
+// 8 shared page-table walkers with 500-cycle walks).
+package arch

@@ -1,7 +1,3 @@
-// Package cache provides the set-associative data caches of the simulated
-// GPU memory hierarchy (per-SM VIPT L1, shared sliced L2). Only the timing-
-// relevant behaviour is modelled: presence, LRU replacement, and hit/miss
-// statistics; data values are never stored.
 package cache
 
 import (

@@ -1,0 +1,8 @@
+// Package chars implements the paper's Section III characterization:
+// translation-reuse intensity at thread-block granularity (Equation 1,
+// Figures 3 and 4) and translation reuse-distance CDFs, both with TBs
+// running concurrently on their SMs (Figure 5) and with one TB at a time
+// (Figure 6). Reuse distance is the number of unique translations between
+// two accesses to the same page, computed in O(n log n) with a Fenwick tree
+// over the access stream.
+package chars

@@ -1,9 +1,7 @@
-// Package cliutil holds the output plumbing shared by the command-line
-// tools: pprof profile capture and stats/trace file export. It keeps the
-// four CLIs' flag handling identical without each reimplementing it.
 package cliutil
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -14,6 +12,80 @@ import (
 	"gputlb/internal/experiments"
 	"gputlb/internal/stats"
 )
+
+// OutputFlags is the output plumbing every CLI shares: stats/trace export
+// destinations and pprof profile capture. Each tool registers the same
+// flag names with the same semantics through Register, so `-stats-out`,
+// `-trace-out`, `-cpuprofile`, and `-memprofile` behave identically
+// across characterize, evaluate, report, gputlbsim, and traceconv.
+type OutputFlags struct {
+	// StatsOut, when non-empty, receives the run's stats (.csv for CSV,
+	// else indented JSON).
+	StatsOut string
+	// TraceOut, when non-empty, receives a Chrome trace_event JSON of the
+	// run (open in chrome://tracing or Perfetto).
+	TraceOut string
+	// CPUProfile and MemProfile, when non-empty, receive pprof profiles.
+	CPUProfile string
+	MemProfile string
+}
+
+// Register registers all four output flags on fs.
+func (f *OutputFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.StatsOut, "stats-out",
+		"", "write every simulated cell's full stats tree to this file (.csv for CSV, else JSON)")
+	fs.StringVar(&f.TraceOut, "trace-out",
+		"", "write a Chrome trace_event JSON of all simulated cells (open in chrome://tracing or Perfetto)")
+	f.RegisterProfiles(fs)
+}
+
+// RegisterProfiles registers only the pprof flags — for tools that never
+// simulate (traceconv) and so have no stats or event trace to export.
+func (f *OutputFlags) RegisterProfiles(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
+}
+
+// Start begins profile capture per the parsed flags; the returned stop
+// must run before process exit (see StartProfiles).
+func (f *OutputFlags) Start() (stop func() error, err error) {
+	return StartProfiles(f.CPUProfile, f.MemProfile)
+}
+
+// NewStatsDump returns a fresh dump when -stats-out was given, else nil —
+// the value experiment Options.StatsDump expects either way.
+func (f *OutputFlags) NewStatsDump() *experiments.StatsDump {
+	if f.StatsOut == "" {
+		return nil
+	}
+	return &experiments.StatsDump{}
+}
+
+// NewTracer returns an unbounded tracer when -trace-out was given, else
+// nil — the value experiment Options.Tracer expects either way.
+func (f *OutputFlags) NewTracer() *stats.Tracer {
+	if f.TraceOut == "" {
+		return nil
+	}
+	return stats.NewTracer(0)
+}
+
+// Export writes whatever the flags requested from the collected outputs:
+// the dump to -stats-out and the tracer to -trace-out. Nil arguments for
+// unrequested outputs are fine.
+func (f *OutputFlags) Export(d *experiments.StatsDump, tr *stats.Tracer) error {
+	if f.StatsOut != "" {
+		if err := ExportStatsDump(f.StatsOut, d); err != nil {
+			return err
+		}
+	}
+	if f.TraceOut != "" {
+		if err := ExportTrace(f.TraceOut, tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // StartProfiles begins a CPU profile when cpuPath is non-empty and returns a
 // stop function that finishes it and, when memPath is non-empty, writes a

@@ -1,0 +1,7 @@
+// Package dram models the GPU's memory partitions: each partition owns a
+// set of DRAM banks with open-row buffers. An access that hits the bank's
+// open row pays the column latency; one that misses pays precharge +
+// activate + column. Banks serialize their own accesses, so hot partitions
+// queue — the memory-side contention behind the L2 data cache of the
+// paper's Figure 1.
+package dram

@@ -1,0 +1,11 @@
+// Package engine provides the discrete-event core shared by the timing
+// simulator: a cycle clock and a deterministic min-heap event queue. Events
+// scheduled for the same cycle fire in insertion order so simulations are
+// bit-reproducible.
+//
+// The queue stores events by value in a hand-rolled binary heap: scheduling
+// an event allocates nothing beyond amortized slice growth, which matters
+// because the simulator schedules one or more events per issued warp
+// instruction. (container/heap would box every event through an interface
+// and allocate it on the heap.)
+package engine

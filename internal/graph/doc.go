@@ -1,0 +1,8 @@
+// Package graph generates deterministic synthetic power-law graphs in CSR
+// form. It stands in for the DIMACS coPapersCiteseer citation graph used by
+// the paper's bfs, color, mis and pagerank benchmarks: citation networks are
+// heavy-tailed, so the generator uses preferential attachment (Barabási-
+// Albert), which reproduces the skewed degree distribution and the
+// irregular, data-dependent page-access behaviour the paper attributes to
+// graph workloads.
+package graph

@@ -1,0 +1,115 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Handler returns the daemon's HTTP API over the manager:
+//
+//	POST /jobs             submit a JobSpec; 202 {"id": ...}, 429 when the
+//	                       queue is full, 503 while draining
+//	GET  /jobs             all job statuses, oldest first
+//	GET  /jobs/{id}        one job's status
+//	GET  /jobs/{id}/result the canonical result artifact (exact journaled
+//	                       bytes); 409 until the job is done
+//	GET  /healthz          liveness probe
+//	GET  /metrics          manager metrics: flat "path value" text, or the
+//	                       full stats snapshot JSON with ?format=json
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", m.handleSubmit)
+	mux.HandleFunc("GET /jobs", m.handleList)
+	mux.HandleFunc("GET /jobs/{id}", m.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", m.handleResult)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", m.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	id, err := m.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+	}
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, m.Jobs())
+}
+
+func (m *Manager) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := m.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (m *Manager) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := m.Job(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	out, err := m.Result(id)
+	if errors.Is(err, ErrNotDone) {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+}
+
+func (m *Manager) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := m.MetricsSnapshot()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		snap.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var b strings.Builder
+	for _, fv := range snap.Flatten("") {
+		fmt.Fprintf(&b, "%s %s\n", fv.Path, fv.Value)
+	}
+	fmt.Fprint(w, b.String())
+}

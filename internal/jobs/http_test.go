@@ -1,0 +1,258 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, opt Options, start bool) (*Manager, *Client) {
+	t.Helper()
+	if opt.Dir == "" {
+		opt.Dir = t.TempDir()
+	}
+	m, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start {
+		m.Start()
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			m.Drain(ctx)
+		})
+	}
+	srv := httptest.NewServer(m.Handler())
+	t.Cleanup(srv.Close)
+	return m, &Client{BaseURL: srv.URL, HTTPClient: srv.Client()}
+}
+
+// TestHTTPEndToEnd drives the whole API through the client: submit, poll,
+// fetch the result, and check it matches the manager's canonical bytes.
+func TestHTTPEndToEnd(t *testing.T) {
+	m, c := newTestServer(t, Options{Parallelism: 2}, true)
+
+	id, err := c.Submit(JobSpec{Name: "http-e2e", Benchmarks: []string{"atax"}, Configs: []string{"baseline", "sched"}, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	st, err := c.Wait(ctx, id, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("job = %s (%s), want done", st.State, st.Error)
+	}
+
+	viaHTTP, err := c.RawResult(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical, err := m.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaHTTP, canonical) {
+		t.Error("HTTP result differs from the journaled artifact")
+	}
+
+	res, err := c.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "http-e2e" || len(res.Cells) != 2 {
+		t.Errorf("decoded result = name %q, %d cells", res.Name, len(res.Cells))
+	}
+	for i, cell := range res.Cells {
+		if cell.Cycles <= 0 || cell.L1TLBHitRate <= 0 {
+			t.Errorf("cell %d has empty results: %+v", i, cell)
+		}
+	}
+
+	// The listing includes the job.
+	list, err := c.httpClient().Get(c.url("/jobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer list.Body.Close()
+	var all []Status
+	if err := json.NewDecoder(list.Body).Decode(&all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 || all[0].ID != id {
+		t.Errorf("job listing = %+v", all)
+	}
+}
+
+// TestHTTPQueueSheds429 checks the load-shedding contract over the wire.
+func TestHTTPQueueSheds429(t *testing.T) {
+	// Worker not started: the queue cannot drain.
+	_, c := newTestServer(t, Options{QueueCapacity: 1}, false)
+	spec := JobSpec{Benchmarks: []string{"atax"}, Configs: []string{"baseline"}, Scale: 0.1}
+	if _, err := c.Submit(spec); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	_, err := c.Submit(spec)
+	if err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("second submit = %v, want HTTP 429", err)
+	}
+}
+
+// TestHTTPResultConflictAndNotFound covers the result endpoint's error
+// paths: 409 while a job is unfinished, 404 for unknown jobs.
+func TestHTTPResultConflictAndNotFound(t *testing.T) {
+	_, c := newTestServer(t, Options{}, false) // never runs: stays queued
+	id, err := c.Submit(JobSpec{Benchmarks: []string{"atax"}, Configs: []string{"baseline"}, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RawResult(id); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("unfinished result = %v, want HTTP 409", err)
+	}
+	if _, err := c.Status("job-9999"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown status = %v, want HTTP 404", err)
+	}
+	if _, err := c.RawResult("job-9999"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown result = %v, want HTTP 404", err)
+	}
+}
+
+func TestHTTPSubmitRejectsBadSpecs(t *testing.T) {
+	_, c := newTestServer(t, Options{}, false)
+	for _, body := range []string{
+		`{`, // malformed JSON
+		`{"wat":1}`,                                             // unknown field
+		`{"benchmarks":["nope"],"configs":["baseline"]}`,        // unknown benchmark
+		`{"benchmarks":["atax"],"configs":["not-a-config"]}`,    // unknown config
+		`{"benchmarks":["atax"]}`,                               // no configs or cells
+	} {
+		resp, err := c.httpClient().Post(c.url("/jobs"), "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit %q = HTTP %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// TestHTTPMetricsSurfaceRetries injects failures and checks they appear
+// through /metrics in both text and JSON forms, alongside /healthz.
+func TestHTTPMetricsSurfaceRetries(t *testing.T) {
+	var injected int32
+	opt := Options{
+		Parallelism:  1,
+		MaxAttempts:  2,
+		RetryBackoff: time.Millisecond,
+		InjectCellError: func(_ CellSpec, attempt int) error {
+			if attempt == 1 && injected == 0 {
+				injected++
+				return errors.New("injected")
+			}
+			return nil
+		},
+	}
+	_, c := newTestServer(t, opt, true)
+	id, err := c.Submit(JobSpec{Benchmarks: []string{"atax"}, Configs: []string{"baseline"}, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if st, err := c.Wait(ctx, id, 20*time.Millisecond); err != nil || st.State != StateDone {
+		t.Fatalf("wait: %v (state %s)", err, st.State)
+	}
+
+	get := func(path string) string {
+		resp, err := c.httpClient().Get(c.url(path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = HTTP %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	if got := get("/healthz"); !strings.Contains(got, "ok") {
+		t.Errorf("/healthz = %q", got)
+	}
+	text := get("/metrics")
+	for _, want := range []string{
+		"jobs/cells_retried 1",
+		"jobs/cells_completed 1",
+		"jobs/jobs_completed 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q; got:\n%s", want, text)
+		}
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(get("/metrics?format=json")), &snap); err != nil {
+		t.Errorf("/metrics?format=json is not JSON: %v", err)
+	}
+}
+
+// TestHTTPDaemonRestartServesResumedJob simulates a daemon restart over
+// the full HTTP surface: submit against one server, interrupt it, bring
+// up a second server on the same journal dir, and fetch the finished
+// result there.
+func TestHTTPDaemonRestartServesResumedJob(t *testing.T) {
+	dir := t.TempDir()
+	m1, err := New(Options{Dir: dir, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var landed int32
+	m1.onCellDone = func(string, int) {
+		landed++
+		if landed == 1 {
+			m1.cancelCells()
+		}
+	}
+	m1.Start()
+	srv1 := httptest.NewServer(m1.Handler())
+	c1 := &Client{BaseURL: srv1.URL, HTTPClient: srv1.Client()}
+	id, err := c1.Submit(JobSpec{Name: "restart", Benchmarks: []string{"atax"}, Configs: []string{"baseline", "sched"}, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m1, id, StateCheckpointed)
+	drain(t, m1)
+	srv1.Close()
+
+	// "Restart" on the same journal directory.
+	_, c2 := newTestServer(t, Options{Dir: dir, Parallelism: 1}, true)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	st, err := c2.Wait(ctx, id, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("resumed job = %s (%s), want done", st.State, st.Error)
+	}
+	res, err := c2.Result(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "restart" || len(res.Cells) != 2 {
+		t.Errorf("resumed result = %+v", res)
+	}
+}

@@ -1,0 +1,208 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// The journal is the durability substrate: one append-only JSONL file per
+// job. The first record is the normalized spec; every completed cell
+// appends a record before it counts as done; a terminal record marks the
+// job done or failed. Loading tolerates a torn final line — the artifact
+// of a process killed mid-append — by dropping it.
+
+const (
+	journalSuffix = ".journal"
+	resultSuffix  = ".result.json"
+)
+
+// journalRecord is one line of a job journal.
+type journalRecord struct {
+	Type string `json:"type"` // "spec" | "cell" | "fail" | "end"
+	// Spec-record fields.
+	ID   string   `json:"id,omitempty"`
+	Name string   `json:"name,omitempty"`
+	Spec *JobSpec `json:"spec,omitempty"`
+	// Cell- and fail-record fields.
+	Index    int         `json:"index,omitempty"`
+	Attempts int         `json:"attempts,omitempty"`
+	Result   *CellResult `json:"result,omitempty"`
+	Error    string      `json:"error,omitempty"`
+	// End-record field: number of permanently failed cells.
+	Failed int `json:"failed,omitempty"`
+}
+
+// journal appends records to a job's JSONL file. Safe for concurrent
+// appends; every append is flushed to the OS before returning so a
+// completed cell survives a process kill.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func journalPath(dir, id string) string { return filepath.Join(dir, id+journalSuffix) }
+
+func resultPath(dir, id string) string { return filepath.Join(dir, id+resultSuffix) }
+
+// createJournal starts a new journal with its spec header record.
+func createJournal(dir, id, name string, spec *JobSpec) (*journal, error) {
+	f, err := os.OpenFile(journalPath(dir, id), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &journal{f: f}
+	if err := j.append(journalRecord{Type: "spec", ID: id, Name: name, Spec: spec}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// openJournal reopens an existing journal for appending (resume).
+func openJournal(dir, id string) (*journal, error) {
+	f, err := os.OpenFile(journalPath(dir, id), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{f: f}, nil
+}
+
+func (j *journal) append(rec journalRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) appendCell(idx, attempts int, res CellResult) error {
+	return j.append(journalRecord{Type: "cell", Index: idx, Attempts: attempts, Result: &res})
+}
+
+func (j *journal) appendFail(idx, attempts int, msg string) error {
+	return j.append(journalRecord{Type: "fail", Index: idx, Attempts: attempts, Error: msg})
+}
+
+func (j *journal) appendEnd(failed int) error {
+	return j.append(journalRecord{Type: "end", Failed: failed})
+}
+
+func (j *journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// journalState is a loaded journal: the job identity plus every durable
+// cell outcome. terminal reports whether an end record was seen (the job
+// finished — done or failed — and must not be resumed).
+type journalState struct {
+	id        string
+	name      string
+	spec      *JobSpec
+	completed map[int]CellResult
+	failed    map[int]string
+	terminal  bool
+	endFailed int
+}
+
+// loadJournal parses a job journal. A final line that does not parse is
+// dropped (torn write from a kill); a malformed line elsewhere is an
+// error, as is a missing or invalid spec header.
+func loadJournal(path string) (*journalState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	st := &journalState{completed: map[int]CellResult{}, failed: map[int]string{}}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	var lines [][]byte
+	for sc.Scan() {
+		lines = append(lines, append([]byte(nil), sc.Bytes()...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("jobs: reading %s: %w", path, err)
+	}
+	// A journal killed mid-append may end without a newline; the scanner
+	// still yields that partial tail as a line, and it simply fails to
+	// parse below.
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if i == len(lines)-1 {
+				break // torn final line: the cell it recorded never became durable
+			}
+			return nil, fmt.Errorf("jobs: %s line %d: %w", path, i+1, err)
+		}
+		switch rec.Type {
+		case "spec":
+			if i != 0 {
+				return nil, fmt.Errorf("jobs: %s line %d: unexpected spec record", path, i+1)
+			}
+			st.id, st.name, st.spec = rec.ID, rec.Name, rec.Spec
+		case "cell":
+			if rec.Result != nil {
+				st.completed[rec.Index] = *rec.Result
+			}
+		case "fail":
+			st.failed[rec.Index] = rec.Error
+		case "end":
+			st.terminal = true
+			st.endFailed = rec.Failed
+		default:
+			return nil, fmt.Errorf("jobs: %s line %d: unknown record type %q", path, i+1, rec.Type)
+		}
+	}
+	if st.spec == nil || st.id == "" {
+		return nil, fmt.Errorf("jobs: %s: missing spec header", path)
+	}
+	return st, nil
+}
+
+// scanJournals loads every journal in dir, sorted by file name (and
+// therefore by submission order, since IDs are zero-padded sequence
+// numbers). Unreadable journals are returned as errors, not dropped.
+func scanJournals(dir string) ([]*journalState, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var states []*journalState
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), journalSuffix) {
+			continue
+		}
+		st, err := loadJournal(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		states = append(states, st)
+	}
+	return states, nil
+}
+
+// encodeResult renders the canonical result artifact. The encoding is the
+// byte-identity contract: indented JSON of Result with a trailing newline.
+func encodeResult(res Result) ([]byte, error) {
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,136 @@
+package jobs
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func testSpec(t *testing.T) *JobSpec {
+	t.Helper()
+	s := &JobSpec{
+		Benchmarks: []string{"atax"},
+		Configs:    []string{"baseline", "sched"},
+		Scale:      0.1,
+	}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(t)
+	j, err := createJournal(dir, "job-0001", "rt", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := CellResult{Bench: "atax", Config: "baseline", Cycles: 123, L1TLBHitRate: 0.5}
+	if err := j.appendCell(0, 2, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.appendFail(1, 3, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := loadJournal(journalPath(dir, "job-0001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.id != "job-0001" || st.name != "rt" {
+		t.Errorf("identity = %q/%q", st.id, st.name)
+	}
+	if len(st.spec.Cells) != 2 {
+		t.Errorf("spec cells = %d, want 2", len(st.spec.Cells))
+	}
+	if got := st.completed[0]; got != res {
+		t.Errorf("completed[0] = %+v, want %+v", got, res)
+	}
+	if st.failed[1] != "boom" {
+		t.Errorf("failed[1] = %q", st.failed[1])
+	}
+	if st.terminal {
+		t.Error("journal without end record reported terminal")
+	}
+
+	// Reopen, finish, reload: now terminal.
+	j2, err := openJournal(dir, "job-0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.appendEnd(1); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	st, err = loadJournal(journalPath(dir, "job-0001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.terminal || st.endFailed != 1 {
+		t.Errorf("terminal=%v endFailed=%d, want true/1", st.terminal, st.endFailed)
+	}
+}
+
+// TestJournalTornFinalLine covers the kill-mid-append case: the last line
+// of the journal is a partial JSON record and must be dropped, losing
+// only the cell it would have recorded.
+func TestJournalTornFinalLine(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(t)
+	j, err := createJournal(dir, "job-0001", "torn", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.appendCell(0, 1, CellResult{Bench: "atax", Config: "baseline", Cycles: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	path := journalPath(dir, "job-0001")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"cell","index":1,"resu`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st, err := loadJournal(path)
+	if err != nil {
+		t.Fatalf("torn final line should load cleanly: %v", err)
+	}
+	if len(st.completed) != 1 {
+		t.Errorf("completed = %d cells, want 1 (torn record dropped)", len(st.completed))
+	}
+	if _, ok := st.completed[1]; ok {
+		t.Error("torn cell record must not become durable")
+	}
+}
+
+func TestJournalRejectsMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(t)
+	j, err := createJournal(dir, "job-0001", "corrupt", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	path := journalPath(dir, "job-0001")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, []byte("not json at all\n")...)
+	data = append(data, []byte(`{"type":"end"}`+"\n")...)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadJournal(path); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("mid-file corruption should be an error naming the line, got %v", err)
+	}
+}

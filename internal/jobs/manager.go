@@ -1,0 +1,594 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gputlb/internal/parallel"
+	"gputlb/internal/stats"
+)
+
+// State is a job's position in its lifecycle.
+type State string
+
+// Job lifecycle states. A checkpointed job has a journal with some but
+// not all cells — the at-rest state after a drain or kill — and becomes
+// running again when a manager resumes it.
+const (
+	StateQueued       State = "queued"
+	StateRunning      State = "running"
+	StateCheckpointed State = "checkpointed"
+	StateDone         State = "done"
+	StateFailed       State = "failed"
+)
+
+// Status is a job's externally visible progress snapshot.
+type Status struct {
+	ID          string `json:"id"`
+	Name        string `json:"name,omitempty"`
+	State       State  `json:"state"`
+	Cells       int    `json:"cells"`
+	CellsDone   int    `json:"cells_done"`
+	CellsFailed int    `json:"cells_failed,omitempty"`
+	Retries     int    `json:"retries,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// Errors the submission path returns; the HTTP layer maps them to 429
+// and 503 respectively.
+var (
+	ErrQueueFull = errors.New("jobs: queue full")
+	ErrDraining  = errors.New("jobs: manager draining")
+)
+
+// ErrNotDone reports a result request for a job that has not completed.
+var ErrNotDone = errors.New("jobs: job not done")
+
+// Options configures a Manager.
+type Options struct {
+	// Dir is the journal directory; created if missing. Every job's
+	// journal and result file live here, and a new manager opened on the
+	// same directory resumes its unfinished jobs.
+	Dir string
+	// QueueCapacity bounds how many submitted jobs may wait; further
+	// submissions fail with ErrQueueFull. Zero means 16.
+	QueueCapacity int
+	// Parallelism bounds concurrent cells within a job (zero means
+	// GOMAXPROCS, as in the parallel package).
+	Parallelism int
+	// MaxAttempts bounds how often a failing cell is tried. Zero means 3.
+	MaxAttempts int
+	// RetryBackoff is the delay before the first retry; it doubles per
+	// attempt. Zero means 100ms.
+	RetryBackoff time.Duration
+	// CellTimeout, when positive, fails a cell attempt that runs longer.
+	// The attempt's goroutine cannot be interrupted mid-simulation; it
+	// finishes in the background and its result is discarded.
+	CellTimeout time.Duration
+	// Registry, when non-nil, receives the manager's metrics under a
+	// "jobs" child node; nil creates a private registry. Either way
+	// MetricsSnapshot serves the tree.
+	Registry *stats.Registry
+	// InjectCellError, when non-nil, is consulted before each cell
+	// attempt; a non-nil error fails the attempt. A fault-injection hook
+	// for resilience tests and drills — never set in normal operation.
+	InjectCellError func(cell CellSpec, attempt int) error
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueCapacity <= 0 {
+		o.QueueCapacity = 16
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 100 * time.Millisecond
+	}
+	return o
+}
+
+// metricsSet is the manager's operational counters. Plain atomics so
+// worker goroutines update them freely; the stats registry reads them
+// lazily at snapshot time.
+type metricsSet struct {
+	jobsSubmitted  atomic.Int64
+	jobsResumed    atomic.Int64
+	jobsCompleted  atomic.Int64
+	jobsFailed     atomic.Int64
+	jobsShed       atomic.Int64
+	cellsCompleted atomic.Int64
+	cellsRecovered atomic.Int64
+	cellsRetried   atomic.Int64
+	cellsFailed    atomic.Int64
+}
+
+func (ms *metricsSet) register(r *stats.Registry, queueDepth func() int64) {
+	j := r.Child("jobs")
+	j.CounterFunc("jobs_submitted", ms.jobsSubmitted.Load)
+	j.CounterFunc("jobs_resumed", ms.jobsResumed.Load)
+	j.CounterFunc("jobs_completed", ms.jobsCompleted.Load)
+	j.CounterFunc("jobs_failed", ms.jobsFailed.Load)
+	j.CounterFunc("jobs_shed", ms.jobsShed.Load)
+	j.CounterFunc("cells_completed", ms.cellsCompleted.Load)
+	j.CounterFunc("cells_recovered", ms.cellsRecovered.Load)
+	j.CounterFunc("cells_retried", ms.cellsRetried.Load)
+	j.CounterFunc("cells_failed", ms.cellsFailed.Load)
+	j.CounterFunc("queue_depth", queueDepth)
+}
+
+// job is the manager's internal record of one submitted grid.
+type job struct {
+	mu        sync.Mutex
+	id        string
+	name      string
+	spec      *JobSpec
+	state     State
+	completed map[int]CellResult
+	failed    map[int]string
+	retries   int
+	err       string
+}
+
+func (jb *job) status() Status {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	return Status{
+		ID:          jb.id,
+		Name:        jb.name,
+		State:       jb.state,
+		Cells:       len(jb.spec.Cells),
+		CellsDone:   len(jb.completed),
+		CellsFailed: len(jb.failed),
+		Retries:     jb.retries,
+		Error:       jb.err,
+	}
+}
+
+func (jb *job) setState(s State) {
+	jb.mu.Lock()
+	jb.state = s
+	jb.mu.Unlock()
+}
+
+// Manager owns the job queue, the journal directory, and the worker that
+// drains them. Jobs run one at a time (cells within a job run on the
+// bounded pool); completed cells are journaled immediately, so stopping
+// the manager at any point loses at most the in-flight cells.
+type Manager struct {
+	opt     Options
+	reg     *stats.Registry
+	met     metricsSet
+	queue   chan *job
+	resumed []*job
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	seq      int
+	draining bool
+
+	cancelCells context.CancelFunc
+	cellsCtx    context.Context
+	workerDone  chan struct{}
+
+	// sleep is time-based backoff, replaceable by tests.
+	sleep func(ctx context.Context, d time.Duration) error
+	// onCellDone, when non-nil, runs after a cell's journal append (test
+	// hook for deterministic mid-job interruption).
+	onCellDone func(jobID string, index int)
+}
+
+// New creates a manager over dir, loading any existing journals:
+// terminal ones become done/failed job records, unfinished ones are
+// queued for resume ahead of new submissions. Call Start to begin work.
+func New(opt Options) (*Manager, error) {
+	opt = opt.withDefaults()
+	if opt.Dir == "" {
+		return nil, errors.New("jobs: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	reg := opt.Registry
+	if reg == nil {
+		reg = stats.NewRegistry("gputlbd")
+	}
+	m := &Manager{
+		opt:        opt,
+		reg:        reg,
+		queue:      make(chan *job, opt.QueueCapacity),
+		jobs:       map[string]*job{},
+		workerDone: make(chan struct{}),
+		sleep: func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return context.Cause(ctx)
+			}
+		},
+	}
+	m.cellsCtx, m.cancelCells = context.WithCancel(context.Background())
+	m.met.register(reg, func() int64 { return int64(len(m.queue)) })
+
+	states, err := scanJournals(opt.Dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range states {
+		jb := &job{
+			id:        st.id,
+			name:      st.name,
+			spec:      st.spec,
+			completed: st.completed,
+			failed:    st.failed,
+		}
+		switch {
+		case st.terminal && st.endFailed == 0:
+			jb.state = StateDone
+		case st.terminal:
+			jb.state = StateFailed
+			jb.err = fmt.Sprintf("%d cells failed permanently", st.endFailed)
+		default:
+			jb.state = StateCheckpointed
+			m.resumed = append(m.resumed, jb)
+			m.met.jobsResumed.Add(1)
+		}
+		m.jobs[jb.id] = jb
+		m.order = append(m.order, jb.id)
+		if n := seqOf(jb.id); n > m.seq {
+			m.seq = n
+		}
+	}
+	return m, nil
+}
+
+// seqOf extracts the sequence number from a "job-NNNN" id (0 if foreign).
+func seqOf(id string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "job-"))
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Registry returns the stats registry holding the manager's metrics.
+func (m *Manager) Registry() *stats.Registry { return m.reg }
+
+// MetricsSnapshot materializes the current metrics tree.
+func (m *Manager) MetricsSnapshot() *stats.Snapshot { return m.reg.Snapshot() }
+
+// Start launches the worker goroutine. Resumed jobs run before queued
+// submissions. Call Drain to stop.
+func (m *Manager) Start() {
+	go func() {
+		defer close(m.workerDone)
+		for _, jb := range m.resumed {
+			if m.cellsCtx.Err() != nil {
+				return
+			}
+			m.runJob(jb)
+		}
+		for {
+			select {
+			case jb := <-m.queue:
+				if m.cellsCtx.Err() != nil {
+					return
+				}
+				m.runJob(jb)
+			case <-m.cellsCtx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// Submit validates, journals, and enqueues a job, returning its id. A
+// full queue returns ErrQueueFull without journaling anything; a
+// draining manager returns ErrDraining.
+func (m *Manager) Submit(spec JobSpec) (string, error) {
+	if err := spec.Normalize(); err != nil {
+		return "", err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return "", ErrDraining
+	}
+	// Only submitters send on the queue, and every submitter holds m.mu,
+	// so the capacity check makes the send below non-blocking.
+	if len(m.queue) >= cap(m.queue) {
+		m.met.jobsShed.Add(1)
+		return "", ErrQueueFull
+	}
+	id := fmt.Sprintf("job-%04d", m.seq+1)
+	j, err := createJournal(m.opt.Dir, id, spec.Name, &spec)
+	if err != nil {
+		return "", err
+	}
+	j.Close()
+	m.seq++
+	jb := &job{
+		id:        id,
+		name:      spec.Name,
+		spec:      &spec,
+		state:     StateQueued,
+		completed: map[int]CellResult{},
+		failed:    map[int]string{},
+	}
+	m.jobs[id] = jb
+	m.order = append(m.order, id)
+	m.queue <- jb
+	m.met.jobsSubmitted.Add(1)
+	return id, nil
+}
+
+// runJob executes every not-yet-journaled cell of jb, appending each
+// outcome to the journal as it lands. If the manager is cancelled
+// mid-job the job is left checkpointed; otherwise it terminates done or
+// failed and, when fully successful, its result file is written.
+func (m *Manager) runJob(jb *job) {
+	// The header record was written at submit (or by the run this journal
+	// is resuming); reopen for appends.
+	j, err := openJournal(m.opt.Dir, jb.id)
+	if err != nil {
+		jb.mu.Lock()
+		jb.state = StateFailed
+		jb.err = err.Error()
+		jb.mu.Unlock()
+		m.met.jobsFailed.Add(1)
+		return
+	}
+	defer j.Close()
+
+	jb.setState(StateRunning)
+	m.met.cellsRecovered.Add(int64(len(jb.completed)))
+
+	var pending []int
+	jb.mu.Lock()
+	for i := range jb.spec.Cells {
+		if _, ok := jb.completed[i]; !ok {
+			pending = append(pending, i)
+		}
+	}
+	// A resumed job's earlier permanent failures get a fresh chance.
+	clear(jb.failed)
+	jb.mu.Unlock()
+
+	_, runErr := parallel.Map(m.cellsCtx, parallel.Options{Workers: m.opt.Parallelism}, len(pending),
+		func(ctx context.Context, pi int) (struct{}, error) {
+			idx := pending[pi]
+			cell := jb.spec.Cells[idx]
+			res, attempts, cerr := m.runCellWithRetry(ctx, cell)
+			jb.mu.Lock()
+			jb.retries += attempts - 1
+			jb.mu.Unlock()
+			if cerr != nil {
+				if ctx.Err() != nil {
+					// Cancelled, not failed: leave no durable record so a
+					// resume re-runs the cell.
+					return struct{}{}, cerr
+				}
+				m.met.cellsFailed.Add(1)
+				jb.mu.Lock()
+				jb.failed[idx] = cerr.Error()
+				jb.mu.Unlock()
+				if jerr := j.appendFail(idx, attempts, cerr.Error()); jerr != nil {
+					return struct{}{}, jerr
+				}
+				return struct{}{}, nil
+			}
+			if jerr := j.appendCell(idx, attempts, res); jerr != nil {
+				return struct{}{}, jerr
+			}
+			jb.mu.Lock()
+			jb.completed[idx] = res
+			jb.mu.Unlock()
+			m.met.cellsCompleted.Add(1)
+			if m.onCellDone != nil {
+				m.onCellDone(jb.id, idx)
+			}
+			return struct{}{}, nil
+		})
+
+	if m.cellsCtx.Err() != nil {
+		// Drained or killed mid-job: everything journaled so far is safe;
+		// the rest re-runs on resume.
+		jb.setState(StateCheckpointed)
+		return
+	}
+	if runErr != nil {
+		// Journal append failures are the only cell errors propagated out
+		// of the pool; without a durable journal the job cannot terminate.
+		jb.mu.Lock()
+		jb.state = StateFailed
+		jb.err = runErr.Error()
+		jb.mu.Unlock()
+		m.met.jobsFailed.Add(1)
+		return
+	}
+
+	jb.mu.Lock()
+	nfailed := len(jb.failed)
+	jb.mu.Unlock()
+	if err := j.appendEnd(nfailed); err != nil {
+		jb.mu.Lock()
+		jb.state = StateFailed
+		jb.err = err.Error()
+		jb.mu.Unlock()
+		m.met.jobsFailed.Add(1)
+		return
+	}
+	if nfailed > 0 {
+		jb.mu.Lock()
+		jb.state = StateFailed
+		jb.err = fmt.Sprintf("%d cells failed permanently", nfailed)
+		jb.mu.Unlock()
+		m.met.jobsFailed.Add(1)
+		return
+	}
+	if err := m.writeResult(jb); err != nil {
+		jb.mu.Lock()
+		jb.state = StateFailed
+		jb.err = err.Error()
+		jb.mu.Unlock()
+		m.met.jobsFailed.Add(1)
+		return
+	}
+	jb.setState(StateDone)
+	m.met.jobsCompleted.Add(1)
+}
+
+// runCellWithRetry tries a cell up to MaxAttempts times with exponential
+// backoff, returning the attempt count alongside the outcome.
+func (m *Manager) runCellWithRetry(ctx context.Context, cell CellSpec) (CellResult, int, error) {
+	backoff := m.opt.RetryBackoff
+	for attempt := 1; ; attempt++ {
+		res, err := m.runCellOnce(ctx, cell, attempt)
+		if err == nil {
+			return res, attempt, nil
+		}
+		if ctx.Err() != nil || attempt >= m.opt.MaxAttempts {
+			return CellResult{}, attempt, err
+		}
+		m.met.cellsRetried.Add(1)
+		if serr := m.sleep(ctx, backoff); serr != nil {
+			return CellResult{}, attempt, err
+		}
+		backoff *= 2
+	}
+}
+
+// runCellOnce runs a single attempt, applying the fault-injection hook
+// and the per-cell timeout. On timeout the simulation goroutine keeps
+// running in the background; its eventual result is discarded.
+func (m *Manager) runCellOnce(ctx context.Context, cell CellSpec, attempt int) (CellResult, error) {
+	if err := context.Cause(ctx); err != nil {
+		return CellResult{}, err
+	}
+	run := func() (CellResult, error) {
+		if hook := m.opt.InjectCellError; hook != nil {
+			if err := hook(cell, attempt); err != nil {
+				return CellResult{}, err
+			}
+		}
+		return RunCell(cell)
+	}
+	if m.opt.CellTimeout <= 0 {
+		return run()
+	}
+	type outcome struct {
+		res CellResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		r, e := run()
+		ch <- outcome{r, e}
+	}()
+	t := time.NewTimer(m.opt.CellTimeout)
+	defer t.Stop()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-t.C:
+		return CellResult{}, fmt.Errorf("jobs: cell %s[%s] timed out after %v", cell.Bench, cell.Config, m.opt.CellTimeout)
+	case <-ctx.Done():
+		return CellResult{}, context.Cause(ctx)
+	}
+}
+
+// writeResult assembles the canonical result from the job's completed
+// cells (journal order is irrelevant; cell order is) and writes it
+// atomically next to the journal.
+func (m *Manager) writeResult(jb *job) error {
+	jb.mu.Lock()
+	res := Result{Name: jb.name, Spec: *jb.spec, Cells: make([]CellResult, len(jb.spec.Cells))}
+	for i := range jb.spec.Cells {
+		res.Cells[i] = jb.completed[i]
+	}
+	jb.mu.Unlock()
+	out, err := encodeResult(res)
+	if err != nil {
+		return err
+	}
+	tmp := resultPath(m.opt.Dir, jb.id) + ".tmp"
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, resultPath(m.opt.Dir, jb.id))
+}
+
+// Job returns the status of one job.
+func (m *Manager) Job(id string) (Status, bool) {
+	m.mu.Lock()
+	jb, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Status{}, false
+	}
+	return jb.status(), true
+}
+
+// Jobs returns every known job's status, oldest first.
+func (m *Manager) Jobs() []Status {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	sort.Strings(ids)
+	out := make([]Status, 0, len(ids))
+	for _, id := range ids {
+		m.mu.Lock()
+		jb := m.jobs[id]
+		m.mu.Unlock()
+		out = append(out, jb.status())
+	}
+	return out
+}
+
+// Result returns the canonical result bytes of a done job — exactly the
+// journaled artifact, so byte-identity holds end to end. ErrNotDone if
+// the job exists but has not completed successfully.
+func (m *Manager) Result(id string) ([]byte, error) {
+	m.mu.Lock()
+	jb, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("jobs: unknown job %q", id)
+	}
+	if st := jb.status(); st.State != StateDone {
+		return nil, fmt.Errorf("%w: %s is %s", ErrNotDone, id, st.State)
+	}
+	return os.ReadFile(resultPath(m.opt.Dir, id))
+}
+
+// Drain stops the manager gracefully: no new submissions, no new cells
+// scheduled, in-flight cells finish and journal, the current job is left
+// checkpointed (or terminates if its cells all landed). Drain waits for
+// the worker up to ctx's deadline.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	already := m.draining
+	m.draining = true
+	m.mu.Unlock()
+	if !already {
+		m.cancelCells()
+	}
+	select {
+	case <-m.workerDone:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}

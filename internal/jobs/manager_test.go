@@ -1,0 +1,332 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// evalSpec is a small Figure 10/11-shaped grid: 2 benchmarks × 4 configs
+// at reduced scale.
+func evalSpec() JobSpec {
+	return JobSpec{
+		Name:       "eval",
+		Benchmarks: []string{"atax", "mvt"},
+		Configs:    []string{"baseline", "sched", "sched+part", "sched+part+share"},
+		Scale:      0.1,
+	}
+}
+
+func waitState(t *testing.T, m *Manager, id string, want ...State) Status {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		st, ok := m.Job(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		for _, w := range want {
+			if st.State == w {
+				return st
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st, _ := m.Job(id)
+	t.Fatalf("job %s stuck in %s waiting for %v", id, st.State, want)
+	return Status{}
+}
+
+func drain(t *testing.T, m *Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func counterAt(t *testing.T, m *Manager, path string) int64 {
+	t.Helper()
+	v, ok := m.MetricsSnapshot().CounterAt(path)
+	if !ok {
+		t.Fatalf("metric %s not found", path)
+	}
+	return v
+}
+
+// TestKillAndResumeByteIdentical is the acceptance e2e: a manager
+// interrupted mid-sweep leaves a journal; a fresh manager over the same
+// directory resumes, re-runs only the unfinished cells, and produces a
+// result byte-identical to an uninterrupted run's.
+func TestKillAndResumeByteIdentical(t *testing.T) {
+	const interruptAfter = 3
+
+	// Reference: one uninterrupted run.
+	ref, err := New(Options{Dir: t.TempDir(), Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Start()
+	refID, err := ref.Submit(evalSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, ref, refID, StateDone)
+	want, err := ref.Result(refID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, ref)
+
+	// Interrupted run: cancel cell scheduling the moment the Nth cell's
+	// journal append lands. Parallelism 1 makes the interruption point
+	// deterministic: exactly interruptAfter cells are durable.
+	dir := t.TempDir()
+	m1, err := New(Options{Dir: dir, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var landed atomic.Int32
+	m1.onCellDone = func(string, int) {
+		if landed.Add(1) == interruptAfter {
+			m1.cancelCells()
+		}
+	}
+	m1.Start()
+	id1, err := m1.Submit(evalSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m1, id1, StateCheckpointed)
+	drain(t, m1)
+	if got := landed.Load(); got != interruptAfter {
+		t.Fatalf("interrupted run journaled %d cells, want %d", got, interruptAfter)
+	}
+	if _, err := m1.Result(id1); !errors.Is(err, ErrNotDone) {
+		t.Fatalf("checkpointed job's result should be ErrNotDone, got %v", err)
+	}
+
+	// Resume: a fresh manager over the same journal directory.
+	m2, err := New(Options{Dir: dir, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rerun atomic.Int32
+	m2.opt.InjectCellError = func(CellSpec, int) error {
+		rerun.Add(1)
+		return nil
+	}
+	st, ok := m2.Job(id1)
+	if !ok || st.State != StateCheckpointed {
+		t.Fatalf("job not loaded as checkpointed: %+v (ok=%v)", st, ok)
+	}
+	if st.CellsDone != interruptAfter {
+		t.Fatalf("resumed job shows %d cells done, want %d", st.CellsDone, interruptAfter)
+	}
+	m2.Start()
+	waitState(t, m2, id1, StateDone)
+	got, err := m2.Result(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, m2)
+
+	total := len(mustNormalized(t, evalSpec()).Cells)
+	if int(rerun.Load()) != total-interruptAfter {
+		t.Errorf("resume re-ran %d cells, want only the %d unfinished", rerun.Load(), total-interruptAfter)
+	}
+	if rec := counterAt(t, m2, "jobs/cells_recovered"); rec != interruptAfter {
+		t.Errorf("cells_recovered = %d, want %d", rec, interruptAfter)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("resumed result differs from uninterrupted run (lens %d vs %d)", len(got), len(want))
+	}
+}
+
+func mustNormalized(t *testing.T, s JobSpec) JobSpec {
+	t.Helper()
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRetryWithBackoff injects two failures into one cell and checks the
+// cell ultimately succeeds, the backoff schedule is exponential, and the
+// retries surface in the metrics tree.
+func TestRetryWithBackoff(t *testing.T) {
+	var attempts atomic.Int32
+	m, err := New(Options{
+		Dir:          t.TempDir(),
+		Parallelism:  1,
+		MaxAttempts:  3,
+		RetryBackoff: 50 * time.Millisecond,
+		InjectCellError: func(c CellSpec, attempt int) error {
+			if c.Config == "sched" && attempt <= 2 {
+				attempts.Add(1)
+				return fmt.Errorf("injected failure %d", attempt)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var backoffs []time.Duration
+	m.sleep = func(_ context.Context, d time.Duration) error {
+		backoffs = append(backoffs, d)
+		return nil
+	}
+	m.Start()
+	id, err := m.Submit(JobSpec{Benchmarks: []string{"atax"}, Configs: []string{"baseline", "sched"}, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, m, id, StateDone, StateFailed)
+	drain(t, m)
+
+	if st.State != StateDone {
+		t.Fatalf("job = %s (%s), want done", st.State, st.Error)
+	}
+	if attempts.Load() != 2 {
+		t.Errorf("injected %d failures, want 2", attempts.Load())
+	}
+	if st.Retries != 2 {
+		t.Errorf("status retries = %d, want 2", st.Retries)
+	}
+	wantBackoffs := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond}
+	if len(backoffs) != len(wantBackoffs) {
+		t.Fatalf("backoffs = %v, want %v", backoffs, wantBackoffs)
+	}
+	for i := range wantBackoffs {
+		if backoffs[i] != wantBackoffs[i] {
+			t.Errorf("backoff %d = %v, want %v (exponential doubling)", i, backoffs[i], wantBackoffs[i])
+		}
+	}
+	if got := counterAt(t, m, "jobs/cells_retried"); got != 2 {
+		t.Errorf("cells_retried = %d, want 2", got)
+	}
+	if got := counterAt(t, m, "jobs/cells_failed"); got != 0 {
+		t.Errorf("cells_failed = %d, want 0", got)
+	}
+}
+
+// TestPermanentFailure exhausts a cell's attempts: the job fails, the
+// cell's error is recorded, and the failure shows in metrics — but the
+// other cells still complete and are journaled.
+func TestPermanentFailure(t *testing.T) {
+	m, err := New(Options{
+		Dir:          t.TempDir(),
+		Parallelism:  1,
+		MaxAttempts:  2,
+		RetryBackoff: time.Millisecond,
+		InjectCellError: func(c CellSpec, _ int) error {
+			if c.Bench == "mvt" {
+				return errors.New("injected permanent failure")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	id, err := m.Submit(JobSpec{Benchmarks: []string{"atax", "mvt"}, Configs: []string{"baseline"}, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, m, id, StateDone, StateFailed)
+	drain(t, m)
+
+	if st.State != StateFailed {
+		t.Fatalf("job = %s, want failed", st.State)
+	}
+	if st.CellsFailed != 1 || st.CellsDone != 1 {
+		t.Errorf("cells done/failed = %d/%d, want 1/1", st.CellsDone, st.CellsFailed)
+	}
+	if got := counterAt(t, m, "jobs/cells_failed"); got != 1 {
+		t.Errorf("cells_failed = %d, want 1", got)
+	}
+	if got := counterAt(t, m, "jobs/jobs_failed"); got != 1 {
+		t.Errorf("jobs_failed = %d, want 1", got)
+	}
+	if _, err := m.Result(id); !errors.Is(err, ErrNotDone) {
+		t.Errorf("failed job's result should be ErrNotDone, got %v", err)
+	}
+}
+
+// TestQueueSheds verifies the bounded queue: submissions beyond capacity
+// fail fast with ErrQueueFull instead of accumulating.
+func TestQueueSheds(t *testing.T) {
+	// No Start: nothing drains the queue.
+	m, err := New(Options{Dir: t.TempDir(), QueueCapacity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Benchmarks: []string{"atax"}, Configs: []string{"baseline"}, Scale: 0.1}
+	if _, err := m.Submit(spec); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	if _, err := m.Submit(spec); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("second submit = %v, want ErrQueueFull", err)
+	}
+	if got := counterAt(t, m, "jobs/jobs_shed"); got != 1 {
+		t.Errorf("jobs_shed = %d, want 1", got)
+	}
+	if got := counterAt(t, m, "jobs/queue_depth"); got != 1 {
+		t.Errorf("queue_depth = %d, want 1", got)
+	}
+}
+
+// TestCellTimeout converts a wedged attempt into a retry.
+func TestCellTimeout(t *testing.T) {
+	m, err := New(Options{
+		Dir:          t.TempDir(),
+		Parallelism:  1,
+		MaxAttempts:  2,
+		RetryBackoff: time.Millisecond,
+		// The timeout also covers the real second attempt, so leave it
+		// plenty of room for a race-detector-slowed simulation.
+		CellTimeout: 2 * time.Second,
+		InjectCellError: func(_ CellSpec, attempt int) error {
+			if attempt == 1 {
+				time.Sleep(10 * time.Second) // wedge the first attempt
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	id, err := m.Submit(JobSpec{Benchmarks: []string{"atax"}, Configs: []string{"baseline"}, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, m, id, StateDone, StateFailed)
+	drain(t, m)
+	if st.State != StateDone {
+		t.Fatalf("job = %s (%s), want done after timeout retry", st.State, st.Error)
+	}
+	if st.Retries != 1 {
+		t.Errorf("retries = %d, want 1 (the timed-out attempt)", st.Retries)
+	}
+}
+
+// TestDrainingRejectsSubmissions checks the graceful-shutdown contract.
+func TestDrainingRejectsSubmissions(t *testing.T) {
+	m, err := New(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	drain(t, m)
+	if _, err := m.Submit(JobSpec{Benchmarks: []string{"atax"}, Configs: []string{"baseline"}, Scale: 0.1}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after drain = %v, want ErrDraining", err)
+	}
+}

@@ -1,0 +1,71 @@
+package jobs
+
+import (
+	"fmt"
+
+	"gputlb/internal/sim"
+	"gputlb/internal/workloads"
+)
+
+// CellResult is the durable outcome of one simulation cell — the subset of
+// sim.Result the figure reconstructions need, in a stable JSON shape. The
+// journal stores one of these per completed cell.
+type CellResult struct {
+	Bench        string  `json:"bench"`
+	Config       string  `json:"config"`
+	Cycles       int64   `json:"cycles"`
+	L1TLBHitRate float64 `json:"l1_tlb_hit_rate"`
+	L2TLBHitRate float64 `json:"l2_tlb_hit_rate"`
+	Walks        int64   `json:"walks"`
+	Faults       int64   `json:"faults"`
+	InstsIssued  int64   `json:"insts_issued"`
+}
+
+// Result is a completed job: its normalized spec and one CellResult per
+// cell, in cell order. Serialized with stable field order and no
+// run-varying fields (timings, retry counts live in Status instead), so a
+// resumed job's result is byte-identical to an uninterrupted run's.
+type Result struct {
+	Name  string       `json:"name"`
+	Spec  JobSpec      `json:"spec"`
+	Cells []CellResult `json:"cells"`
+}
+
+// RunCell executes one cell in-process: builds (or reuses the cached)
+// kernel trace for the benchmark and simulates it under the named
+// configuration. Deterministic for a given spec at any concurrency.
+func RunCell(c CellSpec) (CellResult, error) {
+	spec, ok := workloads.ByName(c.Bench)
+	if !ok {
+		return CellResult{}, fmt.Errorf("jobs: unknown benchmark %q", c.Bench)
+	}
+	nc, ok := namedConfigs[c.Config]
+	if !ok {
+		return CellResult{}, fmt.Errorf("jobs: unknown config %q", c.Config)
+	}
+	p := workloads.DefaultParams()
+	p.Scale = c.Scale
+	p.Seed = c.Seed
+	if nc.pageShift != 0 {
+		p.PageShift = nc.pageShift
+	}
+	if c.PageShift != 0 {
+		p.PageShift = c.PageShift
+	}
+	k, as := workloads.Cached(spec, p)
+	s, err := sim.New(nc.build(), k, as)
+	if err != nil {
+		return CellResult{}, fmt.Errorf("%s [%s]: %w", c.Bench, c.Config, err)
+	}
+	r := s.Run()
+	return CellResult{
+		Bench:        c.Bench,
+		Config:       c.Config,
+		Cycles:       int64(r.Cycles),
+		L1TLBHitRate: r.L1TLBHitRate,
+		L2TLBHitRate: r.L2TLB.HitRate(),
+		Walks:        r.Walks,
+		Faults:       r.Faults,
+		InstsIssued:  r.InstsIssued,
+	}, nil
+}

@@ -1,0 +1,144 @@
+package jobs
+
+import (
+	"fmt"
+	"sort"
+
+	"gputlb/internal/arch"
+	"gputlb/internal/experiments"
+	"gputlb/internal/workloads"
+)
+
+// CellSpec identifies one simulation cell: a benchmark under a named
+// configuration at a given workload scale and seed. A cell is a pure
+// function of its spec — the property checkpoint/resume relies on.
+type CellSpec struct {
+	// Bench is a benchmark name from the Table II suite (workloads.All).
+	Bench string `json:"bench"`
+	// Config is a named configuration variant; see ConfigNames.
+	Config string `json:"config"`
+	// Scale multiplies problem sizes; 0 means 1.0 (experiment scale).
+	Scale float64 `json:"scale,omitempty"`
+	// Seed drives workload generation; 0 means 1.
+	Seed int64 `json:"seed,omitempty"`
+	// PageShift overrides the page size implied by Config (12 = 4KB,
+	// 21 = 2MB). 0 keeps the config's default.
+	PageShift uint `json:"page_shift,omitempty"`
+}
+
+// JobSpec is a submitted experiment grid. Either list Cells explicitly or
+// give Benchmarks × Configs and let Normalize expand the cross product
+// (benchmark-major, config-minor — the order the experiments package uses).
+type JobSpec struct {
+	// Name labels the job in statuses and results; optional.
+	Name string `json:"name,omitempty"`
+	// Benchmarks of the grid; nil or empty means the full suite.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Configs of the grid; required unless Cells is given.
+	Configs []string `json:"configs,omitempty"`
+	// Scale and Seed apply to every expanded grid cell.
+	Scale float64 `json:"scale,omitempty"`
+	Seed  int64   `json:"seed,omitempty"`
+	// Cells, when non-empty, is the explicit cell list and the grid
+	// fields above are ignored.
+	Cells []CellSpec `json:"cells,omitempty"`
+}
+
+// namedConfig builds one architecture variant; pageShift, when non-zero,
+// is the page-size shift the variant implies (2MB configs).
+type namedConfig struct {
+	build     func() arch.Config
+	pageShift uint
+}
+
+// namedConfigs are the configuration variants a CellSpec can name — the
+// same variants the experiments package sweeps for the paper's figures.
+var namedConfigs = map[string]namedConfig{
+	// The four Figure 10/11 bars.
+	"baseline":         {experiments.BaselineConfig, 0},
+	"sched":            {experiments.SchedConfig, 0},
+	"sched+part":       {experiments.PartConfig, 0},
+	"sched+part+share": {experiments.ShareConfig, 0},
+	// Figure 2 capacities.
+	"64-entry": {experiments.BaselineConfig, 0},
+	"256-entry": {func() arch.Config {
+		c := experiments.BaselineConfig()
+		c.L1TLB.Entries = 256
+		return c
+	}, 0},
+	// Figure 12 compression comparison.
+	"compression": {func() arch.Config {
+		c := experiments.BaselineConfig()
+		c.TLBCompression = true
+		return c
+	}, 0},
+	"ours+compression": {func() arch.Config {
+		c := experiments.ShareConfig()
+		c.TLBCompression = true
+		return c
+	}, 0},
+	// Huge-page study.
+	"baseline-4K": {experiments.BaselineConfig, 0},
+	"baseline-2M": {func() arch.Config {
+		c := experiments.BaselineConfig()
+		c.PageSize = arch.PageSize2M
+		return c
+	}, 21},
+	"ours-2M": {func() arch.Config {
+		c := experiments.ShareConfig()
+		c.PageSize = arch.PageSize2M
+		return c
+	}, 21},
+}
+
+// ConfigNames returns the recognized configuration names, sorted.
+func ConfigNames() []string {
+	out := make([]string, 0, len(namedConfigs))
+	for n := range namedConfigs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Normalize validates the spec and expands it to an explicit, fully
+// defaulted cell list: grid fields become the benchmark-major cross
+// product, empty Benchmarks becomes the full suite, and zero Scale/Seed
+// become 1.0/1 on every cell. Normalize is idempotent; the normalized
+// spec is what the journal records, making resume self-contained.
+func (s *JobSpec) Normalize() error {
+	if len(s.Cells) == 0 {
+		benches := s.Benchmarks
+		if len(benches) == 0 {
+			for _, w := range workloads.All() {
+				benches = append(benches, w.Name)
+			}
+		}
+		if len(s.Configs) == 0 {
+			return fmt.Errorf("jobs: spec needs configs (one of %v) or explicit cells", ConfigNames())
+		}
+		for _, b := range benches {
+			for _, c := range s.Configs {
+				s.Cells = append(s.Cells, CellSpec{Bench: b, Config: c, Scale: s.Scale, Seed: s.Seed})
+			}
+		}
+		s.Benchmarks, s.Configs = nil, nil
+	}
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		if c.Scale == 0 {
+			c.Scale = 1.0
+		}
+		if c.Seed == 0 {
+			c.Seed = 1
+		}
+		if _, ok := workloads.ByName(c.Bench); !ok {
+			return fmt.Errorf("jobs: cell %d: unknown benchmark %q", i, c.Bench)
+		}
+		if _, ok := namedConfigs[c.Config]; !ok {
+			return fmt.Errorf("jobs: cell %d: unknown config %q (one of %v)", i, c.Config, ConfigNames())
+		}
+	}
+	s.Scale, s.Seed = 0, 0
+	return nil
+}

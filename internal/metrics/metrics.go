@@ -1,6 +1,3 @@
-// Package metrics provides the small statistics and rendering helpers the
-// experiment harnesses share: geometric means, percentage formatting, and
-// fixed-width text tables shaped like the paper's figures.
 package metrics
 
 import (

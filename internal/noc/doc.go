@@ -1,0 +1,9 @@
+// Package noc models the on-chip interconnection network between SMs and
+// memory partitions (the crossbar of the paper's Figure 1). Each SM has an
+// injection port and each partition an ejection port with a bounded number
+// of request slots per time window; requests beyond a window's capacity
+// spill into later windows. The window model is insensitive to the order
+// in which the simulator discovers requests (issue order is not timestamp
+// order), which keeps it deterministic under the sim's
+// latency-composition style.
+package noc

@@ -1,0 +1,8 @@
+// Package parallel is the bounded worker-pool runner beneath every
+// grid-shaped experiment sweep. A sweep is a list of independent cells —
+// pure functions of their input index — executed concurrently by a fixed
+// number of workers. Results are reassembled in input order, so a parallel
+// run is bit-identical to a sequential one; a failed cell is captured with
+// its index and context instead of aborting the remaining cells, and
+// cancelling the context stops the scheduling of new cells promptly.
+package parallel

@@ -1,0 +1,7 @@
+// Package sched implements the thread-block schedulers: the baseline
+// round-robin dispatcher and the thrashing-aware scheduler of paper
+// Section IV-A, which consults a hardware table of per-SM
+// <TLBhits, TLBtotal> counters and steers new TBs toward SMs with low
+// instantaneous L1 TLB miss rates, falling back to round-robin when no
+// low-miss-rate SM has capacity.
+package sched

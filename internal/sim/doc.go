@@ -1,0 +1,8 @@
+// Package sim is the cycle-level GPU timing simulator: SMs running warps
+// under a greedy-then-oldest dual-issue scheduler, a TB dispatcher
+// (round-robin or TLB-thrashing-aware), per-SM L1 TLBs and VIPT L1 caches,
+// a shared L2 TLB and L2 cache behind an interconnect, and a pool of shared
+// page-table walkers over a UVM address space with demand paging — the
+// translation datapath of the paper's Figure 1 with the capacities and
+// latencies of Table III.
+package sim

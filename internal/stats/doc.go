@@ -1,0 +1,16 @@
+// Package stats is the simulator's observability substrate: a hierarchical
+// registry of named counters, distributions and gauges that every component
+// of the timing model (sim, tlb, vm, cache, sched, noc, dram) registers
+// into, plus a ring-buffered structured event trace exportable as Chrome
+// trace_event JSON (see tracer.go).
+//
+// The registry is a tree. Each component owns one node (a child registry)
+// and registers metrics under it; a Snapshot materializes the whole tree
+// into concrete values in deterministic (sorted) order, so two identical
+// simulations produce byte-identical JSON — the property the golden-stats
+// regression suite keys off.
+//
+// Registries are not safe for concurrent use: the simulator drives each
+// registry from a single goroutine, and parallel sweeps give every cell its
+// own registry. Snapshots are plain data and safe to share once taken.
+package stats

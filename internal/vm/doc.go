@@ -1,0 +1,7 @@
+// Package vm is the virtual-memory substrate beneath the GPU simulator: a
+// four-level radix page table (x86-64 style), a physical frame allocator,
+// and a UVM address space with demand paging. Under unified virtual memory
+// the GPU touches pages that may not be mapped yet; the first access faults
+// and the driver maps the page (first-touch policy), after which page-table
+// walks resolve the translation.
+package vm
