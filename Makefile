@@ -11,6 +11,9 @@
 #                   service layer sits above it and does not affect these numbers
 #   make perf-smoke cheap allocation-regression gate against the committed
 #                   BENCH_sim.json (no wall-clock comparison, CI-safe)
+#   make multi-smoke run a small multi-tenant co-run grid end to end — the
+#                   quick check that ASID plumbing, tenant partitioning and
+#                   the interference reporting still hold together
 #   make fuzz       a short decoder fuzz run
 #   make golden     refresh the golden stats snapshot after an intentional
 #                   timing-model change (inspect the diff before committing)
@@ -19,7 +22,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-json perf-smoke fuzz fuzz-seeds golden docs-lint ci
+.PHONY: all build vet test test-race bench bench-json perf-smoke multi-smoke fuzz fuzz-seeds golden docs-lint ci
 
 all: vet build test
 
@@ -46,6 +49,11 @@ bench-json:
 # against the committed numbers — a deterministic property of the code.
 perf-smoke:
 	$(GO) run ./cmd/perfgate -check -skip-sweep -o BENCH_sim.json
+
+# multi-smoke exercises the multi-tenant path end to end at a small scale:
+# one benchmark pair across the full {TLB mode} x {SM assignment} grid.
+multi-smoke:
+	$(GO) run ./cmd/evaluate -fig multi -bench bfs,atax -scale 0.1
 
 fuzz:
 	$(GO) test -fuzz FuzzReadKernel -fuzztime 10s ./internal/trace/

@@ -61,9 +61,12 @@ func runViaDaemon(baseURL, fig string, benchmarks []string, scale float64, seed 
 		return grouped, nil
 	}
 
+	if fig == "multi" {
+		return runMultiViaDaemon(c, benchmarks, scale, seed, emit)
+	}
 	supported := map[string]bool{"all": true, "10": true, "11": true, "12": true, "hugepage": true}
 	if !supported[fig] {
-		return fmt.Errorf("-fig %s is analysis-local; only 10, 11, 12, hugepage (or all) run via -daemon", fig)
+		return fmt.Errorf("-fig %s is analysis-local; only 10, 11, 12, hugepage, multi (or all) run via -daemon", fig)
 	}
 
 	if want("10") || want("11") {
@@ -133,4 +136,81 @@ func runViaDaemon(baseURL, fig string, benchmarks []string, scale float64, seed 
 		}
 	}
 	return nil
+}
+
+// runMultiViaDaemon submits the co-run interference grid as one explicit
+// cell list — a solo "baseline" cell per benchmark followed by every pair x
+// multi-config cell in MultiGrid's order — and reconstructs the same
+// MultiRow rows an in-process run would render. Both paths derive every
+// figure number from the same integer counters, so the output is
+// byte-identical.
+func runMultiViaDaemon(c *jobs.Client, benchmarks []string, scale float64, seed int64, emit func(string, string, any) error) error {
+	benches := benchmarks
+	if len(benches) == 0 {
+		benches = gputlb.WorkloadNames()
+	}
+	if len(benches) < 2 {
+		return fmt.Errorf("-fig multi needs at least 2 benchmarks, got %d", len(benches))
+	}
+	pairs := gputlb.MultiPairs(benches)
+	configs := jobs.MultiConfigNames()
+
+	var cells []jobs.CellSpec
+	for _, b := range benches {
+		cells = append(cells, jobs.CellSpec{Bench: b, Config: "baseline", Scale: scale, Seed: seed})
+	}
+	for _, p := range pairs {
+		for _, cfg := range configs {
+			cells = append(cells, jobs.CellSpec{Tenants: p[:], Config: cfg, Scale: scale, Seed: seed})
+		}
+	}
+	id, err := c.Submit(jobs.JobSpec{Name: "evaluate-multi", Cells: cells})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "evaluate: submitted evaluate-multi as %s; polling...\n", id)
+	st, err := c.Wait(context.Background(), id, 0)
+	if err != nil {
+		return err
+	}
+	if st.State != jobs.StateDone {
+		return fmt.Errorf("job %s %s: %s", id, st.State, st.Error)
+	}
+	res, err := c.Result(id)
+	if err != nil {
+		return err
+	}
+	if len(res.Cells) != len(cells) {
+		return fmt.Errorf("job %s returned %d cells, want %d", id, len(res.Cells), len(cells))
+	}
+
+	soloIPC := make(map[string]float64, len(benches))
+	for i, b := range benches {
+		cell := res.Cells[i]
+		if cell.Cycles > 0 {
+			soloIPC[b] = float64(cell.InstsIssued) / float64(cell.Cycles)
+		}
+	}
+	rows := make([]gputlb.MultiRow, 0, len(pairs)*len(configs))
+	i := len(benches)
+	for _, p := range pairs {
+		for _, cfg := range configs {
+			cell := res.Cells[i]
+			i++
+			mode, assign, ok := jobs.ParseMultiConfig(cfg)
+			if !ok {
+				return fmt.Errorf("internal error: %q is not a multi config", cfg)
+			}
+			solo := [2]float64{soloIPC[p[0]], soloIPC[p[1]]}
+			rows = append(rows, gputlb.MultiRow{
+				Benches:         p,
+				TLBMode:         mode.String(),
+				SMPolicy:        assign.String(),
+				Tenants:         cell.Tenants,
+				SoloIPC:         solo,
+				WeightedSpeedup: gputlb.WeightedSpeedup(cell.Tenants, solo[:]),
+			})
+		}
+	}
+	return emit("multi", gputlb.RenderMulti(rows), rows)
 }

@@ -1,13 +1,14 @@
 // Command evaluate regenerates the paper's evaluation: Figures 10 and 11
 // (hit rates and normalized execution time under the four configurations),
-// Figure 12 (combination with TLB compression), the huge-page study, and
-// the design-space ablations (sharing counter/all-to-all, TB throttling,
-// warp-granularity reuse).
+// Figure 12 (combination with TLB compression), the huge-page study, the
+// multi-tenant co-run interference grid, and the design-space ablations
+// (sharing counter/all-to-all, TB throttling, warp-granularity reuse).
 //
 // Examples:
 //
 //	evaluate                 # figures 10-12 and the huge-page study
 //	evaluate -fig 11
+//	evaluate -fig multi -bench bfs,atax
 //	evaluate -fig ablations
 //	evaluate -daemon http://localhost:8372 -fig 11   # run on a gputlbd
 package main
@@ -30,13 +31,13 @@ func main() {
 	log.SetPrefix("evaluate: ")
 
 	var (
-		fig      = flag.String("fig", "all", "what to produce: 10 | 11 | 12 | hugepage | ablations | warp | balance | seeds | all")
+		fig      = flag.String("fig", "all", "what to produce: 10 | 11 | 12 | hugepage | multi | ablations | warp | balance | seeds | all")
 		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
 		scale    = flag.Float64("scale", 1.0, "workload scale factor")
 		seed     = flag.Int64("seed", 1, "workload generation seed")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells (results are identical at any value)")
 		jsonOut  = flag.Bool("json", false, "emit the row structs as JSON instead of tables")
-		daemon   = flag.String("daemon", "", "submit the sweep to a gputlbd at this URL instead of running in-process (figs 10/11/12/hugepage)")
+		daemon   = flag.String("daemon", "", "submit the sweep to a gputlbd at this URL instead of running in-process (figs 10/11/12/hugepage/multi)")
 		out      cliutil.OutputFlags
 	)
 	out.Register(flag.CommandLine)
@@ -105,6 +106,15 @@ func main() {
 			log.Fatal(err)
 		}
 		emit("hugepage", gputlb.RenderHugePages(rows), rows)
+	}
+	if *fig == "multi" {
+		// Not part of -fig all: the co-run grid is all benchmark pairs x
+		// 9 configurations and dwarfs the single-kernel figures.
+		rows, err := gputlb.MultiGrid(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("multi", gputlb.RenderMulti(rows), rows)
 	}
 	if *fig == "seeds" {
 		rows, err := gputlb.SeedSweep(opt, []int64{1, 2, 3})

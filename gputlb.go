@@ -27,6 +27,8 @@ import (
 	"gputlb/internal/chars"
 	"gputlb/internal/experiments"
 	"gputlb/internal/graph"
+	"gputlb/internal/multi"
+	"gputlb/internal/sched"
 	"gputlb/internal/sim"
 	"gputlb/internal/stats"
 	"gputlb/internal/trace"
@@ -247,6 +249,83 @@ var (
 	RenderAblation  = experiments.RenderAblation
 	RenderSMBalance = experiments.RenderSMBalance
 	RenderSeedSweep = experiments.RenderSeedSweep
+)
+
+// Multi-tenant co-runs: several kernels concurrently on one GPU, each in
+// its own ASID-tagged address space, with tenant-aware L2 TLB partitioning.
+
+// Tenant is one co-running kernel of a multi-tenant simulation.
+type Tenant = sim.Tenant
+
+// TenantResult is one tenant's share of a multi-tenant Result.
+type TenantResult = sim.TenantResult
+
+// MultiSimOptions tunes the shared translation hardware of a multi-tenant
+// run (sim-level; CoRunOptions is the workload-level wrapper).
+type MultiSimOptions = sim.MultiOptions
+
+// CoRunOptions configures a benchmark-level co-run cell: base config,
+// workload params, SM assignment, and the L2 TLB tenancy mode.
+type CoRunOptions = multi.Options
+
+// TLBMode selects the shared L2 TLB's tenancy policy for a co-run.
+type TLBMode = multi.TLBMode
+
+// L2 TLB tenancy modes for co-runs.
+const (
+	TLBSharedMode  = multi.TLBSharedMode
+	TLBStaticMode  = multi.TLBStaticMode
+	TLBDynamicMode = multi.TLBDynamicMode
+)
+
+// SMAssignment divides the GPU's SMs among co-running tenants.
+type SMAssignment = sched.SMAssignment
+
+// SM assignment policies for co-runs.
+const (
+	AssignSpatial     = sched.AssignSpatial
+	AssignInterleaved = sched.AssignInterleaved
+	AssignShared      = sched.AssignShared
+)
+
+// AssignSMs partitions numSMs among tenants under an assignment policy.
+func AssignSMs(a SMAssignment, numSMs, tenants int) [][]int {
+	return sched.AssignSMs(a, numSMs, tenants)
+}
+
+// RunMulti simulates tenants concurrently on one GPU under cfg; the
+// result's Tenants field holds the per-tenant breakdown in ASID order.
+func RunMulti(cfg Config, tenants []Tenant, opt MultiSimOptions) (Result, error) {
+	return sim.RunMulti(cfg, tenants, opt)
+}
+
+// NewMultiSimulator builds (without running) a multi-tenant simulator, for
+// attaching a tracer or querying the registry.
+func NewMultiSimulator(cfg Config, tenants []Tenant, opt MultiSimOptions) (*Simulator, error) {
+	return sim.NewMulti(cfg, tenants, opt)
+}
+
+// CoRun builds the named benchmarks and runs them concurrently on one GPU.
+func CoRun(benches []string, opt CoRunOptions) (Result, error) {
+	return multi.CoRun(benches, opt)
+}
+
+// WeightedSpeedup is sum_i IPC_i^co-run / IPC_i^solo, the standard
+// multi-programming throughput metric.
+func WeightedSpeedup(tenants []TenantResult, soloIPC []float64) float64 {
+	return multi.WeightedSpeedup(tenants, soloIPC)
+}
+
+// MultiRow is one co-run cell of the interference grid.
+type MultiRow = experiments.MultiRow
+
+// MultiGrid and RenderMulti run and format the interference study: every
+// benchmark pair under the {TLB mode} x {SM assignment} grid. MultiPairs
+// enumerates the grid's unordered benchmark pairs.
+var (
+	MultiGrid   = experiments.MultiGrid
+	RenderMulti = experiments.RenderMulti
+	MultiPairs  = experiments.MultiPairs
 )
 
 // SeedSweepRow is the per-seed robustness row.

@@ -151,7 +151,6 @@ func ShareConfig() arch.Config {
 	return c
 }
 
-
 // ------------------------------------------------------------- sweep engine
 
 func (o Options) pool() parallel.Options {

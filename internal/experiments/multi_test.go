@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"gputlb/internal/workloads"
+)
+
+func multiOpt(benches ...string) Options {
+	return Options{
+		Params:     workloads.Params{PageShift: 12, Seed: 1, Scale: 0.1},
+		Benchmarks: benches,
+	}
+}
+
+func TestMultiPairs(t *testing.T) {
+	got := MultiPairs([]string{"a", "b", "c"})
+	want := [][2]string{{"a", "b"}, {"a", "c"}, {"b", "c"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MultiPairs = %v, want %v", got, want)
+	}
+	if MultiPairs([]string{"a"}) != nil {
+		t.Error("single benchmark produced pairs")
+	}
+}
+
+func TestMultiGridShape(t *testing.T) {
+	rows, err := MultiGrid(multiOpt("bfs", "atax"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(MultiTLBModes) * len(MultiSMPolicies)
+	if len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	i := 0
+	for _, mode := range MultiTLBModes {
+		for _, pol := range MultiSMPolicies {
+			r := rows[i]
+			i++
+			if r.Benches != [2]string{"bfs", "atax"} || r.TLBMode != mode.String() || r.SMPolicy != pol.String() {
+				t.Errorf("row %d = %v/%s/%s", i-1, r.Benches, r.TLBMode, r.SMPolicy)
+			}
+			if len(r.Tenants) != 2 {
+				t.Fatalf("row %d has %d tenants", i-1, len(r.Tenants))
+			}
+			if r.SoloIPC[0] <= 0 || r.SoloIPC[1] <= 0 {
+				t.Errorf("row %d solo IPC %v", i-1, r.SoloIPC)
+			}
+			if r.WeightedSpeedup <= 0 || r.WeightedSpeedup > 2 {
+				t.Errorf("row %d weighted speedup %f outside (0, 2]", i-1, r.WeightedSpeedup)
+			}
+		}
+	}
+}
+
+func TestMultiGridDeterministic(t *testing.T) {
+	opt := multiOpt("bfs", "atax")
+	r1, err := MultiGrid(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt2 := multiOpt("bfs", "atax")
+	opt2.Parallelism = 1
+	r2, err := MultiGrid(opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("MultiGrid rows differ across parallelism levels")
+	}
+	if out := RenderMulti(r1); out != RenderMulti(r2) {
+		t.Error("rendered co-run tables differ")
+	}
+}
+
+func TestMultiGridNeedsTwoBenchmarks(t *testing.T) {
+	if _, err := MultiGrid(multiOpt("bfs")); err == nil {
+		t.Error("single-benchmark grid accepted")
+	}
+	if _, err := MultiGrid(multiOpt("bfs", "nope")); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+// TestDynamicPartitioningBeatsSharedSomewhere is the headline claim of the
+// interference study: for at least one workload pair, tenant-aware dynamic
+// partitioning of the L2 TLB yields a higher weighted speedup than leaving
+// it fully shared. mis+pagerank is such a pair: both are walk-heavy graph
+// kernels that thrash each other's L2 TLB sets when shared.
+func TestDynamicPartitioningBeatsSharedSomewhere(t *testing.T) {
+	opt := Options{
+		Params:     workloads.Params{PageShift: 12, Seed: 1, Scale: 0.2},
+		Benchmarks: []string{"mis", "pagerank"},
+	}
+	rows, err := MultiGrid(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := map[string]float64{}
+	for _, r := range rows {
+		if r.SMPolicy == "spatial" {
+			ws[r.TLBMode] = r.WeightedSpeedup
+		}
+	}
+	if ws["dynamic"] <= ws["shared"] {
+		t.Errorf("dynamic partitioning WS %.4f not above fully-shared %.4f for mis+pagerank",
+			ws["dynamic"], ws["shared"])
+	}
+}
+
+func TestRenderMulti(t *testing.T) {
+	rows, err := MultiGrid(multiOpt("bfs", "atax"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderMulti(rows)
+	for _, want := range []string{"bfs+atax", "dynamic", "spatial", "Geomean WS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

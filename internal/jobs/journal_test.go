@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"os"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -47,7 +48,7 @@ func TestJournalRoundTrip(t *testing.T) {
 	if len(st.spec.Cells) != 2 {
 		t.Errorf("spec cells = %d, want 2", len(st.spec.Cells))
 	}
-	if got := st.completed[0]; got != res {
+	if got := st.completed[0]; !reflect.DeepEqual(got, res) {
 		t.Errorf("completed[0] = %+v, want %+v", got, res)
 	}
 	if st.failed[1] != "boom" {

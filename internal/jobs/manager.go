@@ -14,6 +14,7 @@ import (
 
 	"gputlb/internal/parallel"
 	"gputlb/internal/stats"
+	"gputlb/internal/workloads"
 )
 
 // State is a job's position in its lifecycle.
@@ -221,6 +222,7 @@ func New(opt Options) (*Manager, error) {
 	}
 	m.cellsCtx, m.cancelCells = context.WithCancel(context.Background())
 	m.met.register(reg, func() int64 { return int64(len(m.queue)) })
+	workloads.RegisterCacheStats(reg.Child("trace_cache"))
 
 	states, err := scanJournals(opt.Dir)
 	if err != nil {

@@ -1,0 +1,96 @@
+package jobs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"gputlb/internal/experiments"
+	"gputlb/internal/multi"
+	"gputlb/internal/sched"
+	"gputlb/internal/workloads"
+)
+
+func TestParseMultiConfig(t *testing.T) {
+	mode, assign, ok := ParseMultiConfig("multi-dynamic-spatial")
+	if !ok || mode != multi.TLBDynamicMode || assign != sched.AssignSpatial {
+		t.Errorf("parsed %v/%v/%v", mode, assign, ok)
+	}
+	for _, bad := range []string{"baseline", "multi-", "multi-dynamic", "multi-x-spatial", "multi-dynamic-x"} {
+		if _, _, ok := ParseMultiConfig(bad); ok {
+			t.Errorf("%q accepted as a multi config", bad)
+		}
+	}
+	// Every advertised name must parse.
+	for _, name := range MultiConfigNames() {
+		if _, _, ok := ParseMultiConfig(name); !ok {
+			t.Errorf("MultiConfigNames entry %q does not parse", name)
+		}
+	}
+	if n := len(MultiConfigNames()); n != 9 {
+		t.Errorf("MultiConfigNames = %d entries, want 9", n)
+	}
+}
+
+func TestNormalizeMultiCells(t *testing.T) {
+	s := JobSpec{Cells: []CellSpec{
+		{Tenants: []string{"bfs", "atax"}, Config: "multi-shared-spatial", Scale: 0.1},
+	}}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Cells[0]
+	if c.Bench != "bfs+atax" || c.Seed != 1 {
+		t.Errorf("normalized multi cell = %+v", c)
+	}
+
+	bad := []JobSpec{
+		{Cells: []CellSpec{{Tenants: []string{"bfs"}, Config: "multi-shared-spatial"}}},
+		{Cells: []CellSpec{{Tenants: []string{"bfs", "nope"}, Config: "multi-shared-spatial"}}},
+		{Cells: []CellSpec{{Tenants: []string{"bfs", "atax"}, Config: "baseline"}}},
+		{Cells: []CellSpec{{Bench: "bfs", Config: "multi-shared-spatial"}}},
+	}
+	for i, b := range bad {
+		if err := b.Normalize(); err == nil {
+			t.Errorf("bad multi spec %d accepted", i)
+		}
+	}
+}
+
+func TestRunCellMultiMatchesCoRun(t *testing.T) {
+	// The daemon's multi cells must reproduce exactly what the in-process
+	// interference grid computes for the same point.
+	cell := CellSpec{
+		Tenants: []string{"bfs", "atax"},
+		Config:  "multi-dynamic-spatial",
+		Scale:   0.1,
+		Seed:    1,
+	}
+	got, err := RunCell(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := experiments.BaselineConfig()
+	p := workloads.DefaultParams()
+	p.Scale, p.Seed = 0.1, 1
+	want, err := multi.CoRun(cell.Tenants, multi.Options{
+		Base:     &cfg,
+		Params:   p,
+		SMPolicy: sched.AssignSpatial,
+		TLBMode:  multi.TLBDynamicMode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(want.Cycles) != got.Cycles || !reflect.DeepEqual(want.Tenants, got.Tenants) {
+		t.Errorf("RunCell diverged from CoRun:\n cell:  %+v\n corun: %d %+v", got, want.Cycles, want.Tenants)
+	}
+	if len(got.Tenants) != 2 {
+		t.Fatalf("cell result has %d tenants", len(got.Tenants))
+	}
+
+	if _, err := RunCell(CellSpec{Tenants: []string{"bfs", "atax"}, Config: "baseline", Scale: 0.1, Seed: 1}); err == nil ||
+		!strings.Contains(err.Error(), "multi config") {
+		t.Errorf("tenants with a single-kernel config not rejected: %v", err)
+	}
+}

@@ -3,6 +3,8 @@ package jobs
 import (
 	"fmt"
 
+	"gputlb/internal/experiments"
+	"gputlb/internal/multi"
 	"gputlb/internal/sim"
 	"gputlb/internal/workloads"
 )
@@ -19,6 +21,10 @@ type CellResult struct {
 	Walks        int64   `json:"walks"`
 	Faults       int64   `json:"faults"`
 	InstsIssued  int64   `json:"insts_issued"`
+	// Tenants holds the per-tenant breakdown of a multi-tenant co-run cell
+	// (CellSpec.Tenants order); nil for single-kernel cells, keeping their
+	// serialized form identical to the pre-tenancy journal format.
+	Tenants []sim.TenantResult `json:"tenants,omitempty"`
 }
 
 // Result is a completed job: its normalized spec and one CellResult per
@@ -33,8 +39,12 @@ type Result struct {
 
 // RunCell executes one cell in-process: builds (or reuses the cached)
 // kernel trace for the benchmark and simulates it under the named
-// configuration. Deterministic for a given spec at any concurrency.
+// configuration. Cells with a Tenants list run as multi-tenant co-runs.
+// Deterministic for a given spec at any concurrency.
 func RunCell(c CellSpec) (CellResult, error) {
+	if len(c.Tenants) > 0 {
+		return runMultiCell(c)
+	}
 	spec, ok := workloads.ByName(c.Bench)
 	if !ok {
 		return CellResult{}, fmt.Errorf("jobs: unknown benchmark %q", c.Bench)
@@ -67,5 +77,43 @@ func RunCell(c CellSpec) (CellResult, error) {
 		Walks:        r.Walks,
 		Faults:       r.Faults,
 		InstsIssued:  r.InstsIssued,
+	}, nil
+}
+
+// runMultiCell executes a multi-tenant co-run cell: the tenant benchmarks
+// run concurrently under the "multi-<tlb>-<sm>" configuration on the
+// experiments' baseline hardware — the exact cell the in-process MultiGrid
+// runs, so daemon results reconstruct identical figure rows.
+func runMultiCell(c CellSpec) (CellResult, error) {
+	mode, assign, ok := ParseMultiConfig(c.Config)
+	if !ok {
+		return CellResult{}, fmt.Errorf("jobs: unknown multi config %q", c.Config)
+	}
+	cfg := experiments.BaselineConfig()
+	p := workloads.DefaultParams()
+	p.Scale = c.Scale
+	p.Seed = c.Seed
+	if c.PageShift != 0 {
+		p.PageShift = c.PageShift
+	}
+	r, err := multi.CoRun(c.Tenants, multi.Options{
+		Base:     &cfg,
+		Params:   p,
+		SMPolicy: assign,
+		TLBMode:  mode,
+	})
+	if err != nil {
+		return CellResult{}, fmt.Errorf("%s [%s]: %w", c.Bench, c.Config, err)
+	}
+	return CellResult{
+		Bench:        c.Bench,
+		Config:       c.Config,
+		Cycles:       int64(r.Cycles),
+		L1TLBHitRate: r.L1TLBHitRate,
+		L2TLBHitRate: r.L2TLB.HitRate(),
+		Walks:        r.Walks,
+		Faults:       r.Faults,
+		InstsIssued:  r.InstsIssued,
+		Tenants:      r.Tenants,
 	}, nil
 }

@@ -3,9 +3,12 @@ package jobs
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"gputlb/internal/arch"
 	"gputlb/internal/experiments"
+	"gputlb/internal/multi"
+	"gputlb/internal/sched"
 	"gputlb/internal/workloads"
 )
 
@@ -14,9 +17,16 @@ import (
 // function of its spec — the property checkpoint/resume relies on.
 type CellSpec struct {
 	// Bench is a benchmark name from the Table II suite (workloads.All).
+	// Multi-tenant cells may leave it empty; Normalize fills it with the
+	// "+"-joined tenant list for display.
 	Bench string `json:"bench"`
-	// Config is a named configuration variant; see ConfigNames.
+	// Config is a named configuration variant; see ConfigNames. Multi-tenant
+	// cells use the "multi-<tlb>-<sm>" names (MultiConfigNames).
 	Config string `json:"config"`
+	// Tenants, when non-empty, makes this a multi-tenant co-run cell: the
+	// listed benchmarks run concurrently (tenant i gets ASID i) under the
+	// multi config named by Config. Requires at least two entries.
+	Tenants []string `json:"tenants,omitempty"`
 	// Scale multiplies problem sizes; 0 means 1.0 (experiment scale).
 	Scale float64 `json:"scale,omitempty"`
 	// Seed drives workload generation; 0 means 1.
@@ -91,13 +101,49 @@ var namedConfigs = map[string]namedConfig{
 	}, 21},
 }
 
-// ConfigNames returns the recognized configuration names, sorted.
+// ConfigNames returns the recognized single-kernel configuration names,
+// sorted. Multi-tenant cells use MultiConfigNames instead.
 func ConfigNames() []string {
 	out := make([]string, 0, len(namedConfigs))
 	for n := range namedConfigs {
 		out = append(out, n)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// ParseMultiConfig decodes a "multi-<tlb>-<sm>" config name into the L2 TLB
+// tenancy mode and SM assignment of a co-run cell; ok is false when name is
+// not a multi config.
+func ParseMultiConfig(name string) (mode multi.TLBMode, assign sched.SMAssignment, ok bool) {
+	rest, found := strings.CutPrefix(name, "multi-")
+	if !found {
+		return 0, 0, false
+	}
+	tlbName, smName, found := strings.Cut(rest, "-")
+	if !found {
+		return 0, 0, false
+	}
+	mode, err := multi.ParseTLBMode(tlbName)
+	if err != nil {
+		return 0, 0, false
+	}
+	assign, err = sched.ParseSMAssignment(smName)
+	if err != nil {
+		return 0, 0, false
+	}
+	return mode, assign, true
+}
+
+// MultiConfigNames returns the recognized multi-tenant configuration names
+// ("multi-<tlb>-<sm>"), in grid order: TLB mode major, SM assignment minor.
+func MultiConfigNames() []string {
+	var out []string
+	for _, mode := range experiments.MultiTLBModes {
+		for _, assign := range experiments.MultiSMPolicies {
+			out = append(out, fmt.Sprintf("multi-%s-%s", mode, assign))
+		}
+	}
 	return out
 }
 
@@ -132,8 +178,28 @@ func (s *JobSpec) Normalize() error {
 		if c.Seed == 0 {
 			c.Seed = 1
 		}
+		if len(c.Tenants) > 0 {
+			if len(c.Tenants) < 2 {
+				return fmt.Errorf("jobs: cell %d: co-run needs at least 2 tenants, got %d", i, len(c.Tenants))
+			}
+			for _, t := range c.Tenants {
+				if _, ok := workloads.ByName(t); !ok {
+					return fmt.Errorf("jobs: cell %d: unknown tenant benchmark %q", i, t)
+				}
+			}
+			if _, _, ok := ParseMultiConfig(c.Config); !ok {
+				return fmt.Errorf("jobs: cell %d: unknown multi config %q (one of %v)", i, c.Config, MultiConfigNames())
+			}
+			if c.Bench == "" {
+				c.Bench = strings.Join(c.Tenants, "+")
+			}
+			continue
+		}
 		if _, ok := workloads.ByName(c.Bench); !ok {
 			return fmt.Errorf("jobs: cell %d: unknown benchmark %q", i, c.Bench)
+		}
+		if _, _, ok := ParseMultiConfig(c.Config); ok {
+			return fmt.Errorf("jobs: cell %d: multi config %q requires a tenants list", i, c.Config)
 		}
 		if _, ok := namedConfigs[c.Config]; !ok {
 			return fmt.Errorf("jobs: cell %d: unknown config %q (one of %v)", i, c.Config, ConfigNames())

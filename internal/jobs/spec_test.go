@@ -1,6 +1,7 @@
 package jobs
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -25,7 +26,7 @@ func TestNormalizeExpandsGrid(t *testing.T) {
 		t.Fatalf("got %d cells, want %d", len(s.Cells), len(want))
 	}
 	for i, c := range s.Cells {
-		if c != want[i] {
+		if !reflect.DeepEqual(c, want[i]) {
 			t.Errorf("cell %d = %+v, want %+v", i, c, want[i])
 		}
 	}
@@ -38,7 +39,7 @@ func TestNormalizeExpandsGrid(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range before {
-		if s.Cells[i] != before[i] {
+		if !reflect.DeepEqual(s.Cells[i], before[i]) {
 			t.Fatalf("Normalize not idempotent at cell %d", i)
 		}
 	}

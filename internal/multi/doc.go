@@ -1,0 +1,22 @@
+// Package multi runs several kernels concurrently on one simulated GPU —
+// the multi-tenant layer over the single-kernel simulator core.
+//
+// Each tenant is one benchmark workload with its own private UVM address
+// space; an ASID (the tenant's index) rides with every translation through
+// the L1 TLBs, the shared L2 TLB, the page-walk cache, and the in-flight
+// walker state, so tenants contend for translation capacity without ever
+// aliasing each other's pages. Two policy axes shape the contention:
+//
+//   - SM assignment (sched.SMAssignment): spatial split, interleaved
+//     stripes, or fully shared SMs.
+//   - L2 TLB mode (TLBMode): fully shared, statically partitioned per
+//     ASID, or partitioned with the paper's dynamic adjacent-set sharing
+//     rule — the TB-id partitioning machinery with the tenant in the TB's
+//     role.
+//
+// CoRun builds the tenants and runs one co-run cell; Solo runs one tenant
+// alone on the whole GPU under the same base configuration, which is the
+// reference for WeightedSpeedup. The co-run experiment grid over workload
+// pairs lives in internal/experiments (MultiGrid) and is surfaced by
+// `evaluate -fig multi` and the gputlbd job runner.
+package multi

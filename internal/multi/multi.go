@@ -1,0 +1,160 @@
+package multi
+
+import (
+	"fmt"
+
+	"gputlb/internal/arch"
+	"gputlb/internal/sched"
+	"gputlb/internal/sim"
+	"gputlb/internal/workloads"
+)
+
+// TLBMode selects how the shared L2 TLB treats co-running tenants.
+type TLBMode int
+
+const (
+	// TLBSharedMode leaves the L2 TLB fully shared: ASID-tagged entries in
+	// one common replacement pool, tenants free to thrash each other.
+	TLBSharedMode TLBMode = iota
+	// TLBStaticMode statically partitions the L2 TLB's sets per ASID
+	// (the paper's TB-id partitioning with the tenant in the TB's role).
+	TLBStaticMode
+	// TLBDynamicMode is the static partition plus the paper's dynamic
+	// adjacent-set sharing rule: a tenant whose partition stops yielding
+	// hits spills into its neighbour's sets until the neighbour pushes back.
+	TLBDynamicMode
+)
+
+// String implements fmt.Stringer.
+func (m TLBMode) String() string {
+	switch m {
+	case TLBSharedMode:
+		return "shared"
+	case TLBStaticMode:
+		return "static"
+	case TLBDynamicMode:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("TLBMode(%d)", int(m))
+	}
+}
+
+// ParseTLBMode maps a mode name back to its value.
+func ParseTLBMode(name string) (TLBMode, error) {
+	switch name {
+	case "shared":
+		return TLBSharedMode, nil
+	case "static":
+		return TLBStaticMode, nil
+	case "dynamic":
+		return TLBDynamicMode, nil
+	}
+	return 0, fmt.Errorf("multi: unknown TLB mode %q", name)
+}
+
+// l2Policy translates the mode into the TLB's index policy.
+func (m TLBMode) l2Policy() arch.TLBIndexPolicy {
+	switch m {
+	case TLBStaticMode:
+		return arch.IndexByTB
+	case TLBDynamicMode:
+		return arch.IndexByTBShared
+	default:
+		return arch.IndexByAddress
+	}
+}
+
+// Options configures one co-run cell.
+type Options struct {
+	// Base is the hardware configuration; the zero value means
+	// arch.Default(). Solo reference runs use the same configuration with
+	// the whole GPU, so co-run vs solo isolates the interference.
+	Base *arch.Config
+	// Params configures workload construction; its PageShift must match
+	// Base. The zero value means workloads.DefaultParams().
+	Params workloads.Params
+	// SMPolicy divides the SMs among tenants (default spatial split).
+	SMPolicy sched.SMAssignment
+	// TLBMode selects the shared L2 TLB's tenancy policy (default shared).
+	TLBMode TLBMode
+}
+
+// config resolves the base configuration.
+func (o Options) config() arch.Config {
+	if o.Base != nil {
+		return *o.Base
+	}
+	return arch.Default()
+}
+
+// params resolves the workload parameters.
+func (o Options) params() workloads.Params {
+	if o.Params == (workloads.Params{}) {
+		return workloads.DefaultParams()
+	}
+	return o.Params
+}
+
+// Tenants builds the sim.Tenant list for the named benchmarks under the
+// options' SM assignment: tenant i is benches[i] with ASID i.
+func Tenants(benches []string, opt Options) ([]sim.Tenant, error) {
+	if len(benches) < 2 {
+		return nil, fmt.Errorf("multi: need at least 2 tenants, got %d", len(benches))
+	}
+	cfg := opt.config()
+	assign := sched.AssignSMs(opt.SMPolicy, cfg.NumSMs, len(benches))
+	tenants := make([]sim.Tenant, len(benches))
+	for i, name := range benches {
+		k, as, ok := workloads.CachedByName(name, opt.params())
+		if !ok {
+			return nil, fmt.Errorf("multi: unknown benchmark %q", name)
+		}
+		tenants[i] = sim.Tenant{Name: name, Kernel: k, AS: as, SMs: assign[i]}
+	}
+	return tenants, nil
+}
+
+// CoRun simulates the named benchmarks concurrently on one GPU and returns
+// the combined result; Result.Tenants holds the per-tenant breakdown in
+// benches order. Deterministic: the same benches, options, and seed always
+// produce bit-identical results.
+func CoRun(benches []string, opt Options) (sim.Result, error) {
+	tenants, err := Tenants(benches, opt)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.RunMulti(opt.config(), tenants, sim.MultiOptions{L2TLBPolicy: opt.TLBMode.l2Policy()})
+}
+
+// Solo simulates one benchmark alone on the whole GPU under the options'
+// base configuration — the reference run weighted speedup divides by.
+func Solo(bench string, opt Options) (sim.Result, error) {
+	k, as, ok := workloads.CachedByName(bench, opt.params())
+	if !ok {
+		return sim.Result{}, fmt.Errorf("multi: unknown benchmark %q", bench)
+	}
+	return sim.Run(opt.config(), k, as)
+}
+
+// WeightedSpeedup is the standard multi-programming throughput metric:
+// the sum over tenants of IPC_co-run / IPC_solo. soloIPC[i] must be tenant
+// i's solo IPC under the same base configuration. A value of n (the tenant
+// count) would mean zero interference; higher values mean co-running beats
+// time-slicing the GPU.
+func WeightedSpeedup(tenants []sim.TenantResult, soloIPC []float64) float64 {
+	var ws float64
+	for i, tn := range tenants {
+		if i < len(soloIPC) && soloIPC[i] > 0 {
+			ws += tn.IPC() / soloIPC[i]
+		}
+	}
+	return ws
+}
+
+// SoloIPC extracts the IPC of a solo reference run.
+func SoloIPC(r sim.Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.InstsIssued) / float64(r.Cycles)
+}

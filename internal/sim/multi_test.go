@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"gputlb/internal/arch"
+	"gputlb/internal/sched"
+	"gputlb/internal/vm"
+	"gputlb/internal/workloads"
+)
+
+// twoTenants builds two independent tiny-kernel tenants under a spatial SM
+// split of the default configuration.
+func twoTenants(t *testing.T, cfg arch.Config) []Tenant {
+	t.Helper()
+	k0, as0 := tinyKernel(t, 8, 4)
+	k1, as1 := tinyKernel(t, 6, 3)
+	assign := sched.AssignSMs(sched.AssignSpatial, cfg.NumSMs, 2)
+	return []Tenant{
+		{Name: "a", Kernel: k0, AS: as0, SMs: assign[0]},
+		{Name: "b", Kernel: k1, AS: as1, SMs: assign[1]},
+	}
+}
+
+func TestRunMultiSingleTenantMatchesRun(t *testing.T) {
+	// One tenant through NewMulti must be bit-identical to New — the
+	// property the golden-stats guard also checks end to end.
+	k, as := tinyKernel(t, 12, 5)
+	solo, err := Run(arch.Default(), k, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, as2 := tinyKernel(t, 12, 5)
+	multi, err := RunMulti(arch.Default(), []Tenant{{Name: "tiny", Kernel: k2, AS: as2}}, MultiOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Tenants != nil {
+		t.Errorf("single-tenant run populated Tenants: %+v", multi.Tenants)
+	}
+	solo.Stats, multi.Stats = nil, nil
+	if !reflect.DeepEqual(solo, multi) {
+		t.Errorf("single-tenant NewMulti diverged from New:\n new:   %+v\n multi: %+v", solo, multi)
+	}
+}
+
+func TestRunMultiDeterministic(t *testing.T) {
+	for _, pol := range []arch.TLBIndexPolicy{arch.IndexByAddress, arch.IndexByTB, arch.IndexByTBShared} {
+		cfg := arch.Default()
+		r1, err := RunMulti(cfg, twoTenants(t, cfg), MultiOptions{L2TLBPolicy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := RunMulti(cfg, twoTenants(t, cfg), MultiOptions{L2TLBPolicy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Cycles != r2.Cycles || !reflect.DeepEqual(r1.Tenants, r2.Tenants) {
+			t.Errorf("policy %v: identical co-runs diverged:\n %+v\n %+v", pol, r1.Tenants, r2.Tenants)
+		}
+	}
+}
+
+func TestRunMultiTenantAccounting(t *testing.T) {
+	cfg := arch.Default()
+	tenants := twoTenants(t, cfg)
+	r, err := RunMulti(cfg, tenants, MultiOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tenants) != 2 {
+		t.Fatalf("Tenants = %d entries, want 2", len(r.Tenants))
+	}
+	// Instruction and page-request counts are trace properties: each
+	// tenant's count must equal its solo run's regardless of interference,
+	// and the totals must add up.
+	var insts, reqs int64
+	for i, tr := range r.Tenants {
+		if tr.ASID != vm.ASID(i) || tr.Name != tenants[i].Name {
+			t.Errorf("tenant %d identity = %d/%q", i, tr.ASID, tr.Name)
+		}
+		k, as := tinyKernel(t, []int{8, 6}[i], []int{4, 3}[i])
+		solo, err := Run(cfg, k, as)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.InstsIssued != solo.InstsIssued || tr.PageRequests != solo.PageRequests {
+			t.Errorf("tenant %d issued %d insts / %d reqs, solo %d / %d",
+				i, tr.InstsIssued, tr.PageRequests, solo.InstsIssued, solo.PageRequests)
+		}
+		if tr.Cycles <= 0 || int64(r.Cycles) < tr.Cycles {
+			t.Errorf("tenant %d cycles %d outside (0, %d]", i, tr.Cycles, r.Cycles)
+		}
+		if tr.L1TLBHits+tr.L2TLBHits+tr.Walks != tr.PageRequests {
+			// Every translation resolves at exactly one level, but merged
+			// requests (MSHR / in-flight walks) resolve without their own
+			// hit or walk — so the sum can only fall short, never exceed.
+			if tr.L1TLBHits+tr.L2TLBHits+tr.Walks > tr.PageRequests {
+				t.Errorf("tenant %d hit/walk counts exceed page requests: %+v", i, tr)
+			}
+		}
+		if tr.StallTotal() <= 0 {
+			t.Errorf("tenant %d recorded no translation stall cycles", i)
+		}
+		insts += tr.InstsIssued
+		reqs += tr.PageRequests
+	}
+	if insts != r.InstsIssued || reqs != r.PageRequests {
+		t.Errorf("tenant sums %d insts / %d reqs != totals %d / %d",
+			insts, reqs, r.InstsIssued, r.PageRequests)
+	}
+}
+
+func TestRunMultiSharedSMs(t *testing.T) {
+	// Every tenant on every SM: both kernels must still retire fully.
+	cfg := arch.Default()
+	tenants := twoTenants(t, cfg)
+	assign := sched.AssignSMs(sched.AssignShared, cfg.NumSMs, 2)
+	tenants[0].SMs, tenants[1].SMs = assign[0], assign[1]
+	r, err := RunMulti(cfg, tenants, MultiOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tenants) != 2 || r.Tenants[0].InstsIssued == 0 || r.Tenants[1].InstsIssued == 0 {
+		t.Errorf("shared-SM co-run incomplete: %+v", r.Tenants)
+	}
+}
+
+func TestRunMultiRealWorkloads(t *testing.T) {
+	// A real benchmark pair under each L2 TLB tenancy mode completes and
+	// stays internally consistent.
+	p := workloads.Params{PageShift: 12, Seed: 1, Scale: 0.1}
+	cfg := arch.Default()
+	assign := sched.AssignSMs(sched.AssignSpatial, cfg.NumSMs, 2)
+	for _, pol := range []arch.TLBIndexPolicy{arch.IndexByAddress, arch.IndexByTB, arch.IndexByTBShared} {
+		var tenants []Tenant
+		for i, name := range []string{"bfs", "atax"} {
+			s, _ := workloads.ByName(name)
+			k, as := s.Build(p)
+			tenants = append(tenants, Tenant{Name: name, Kernel: k, AS: as, SMs: assign[i]})
+		}
+		r, err := RunMulti(cfg, tenants, MultiOptions{L2TLBPolicy: pol})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		for _, tr := range r.Tenants {
+			if tr.IPC() <= 0 {
+				t.Errorf("%v: tenant %s IPC = %f", pol, tr.Name, tr.IPC())
+			}
+			if hr := tr.L1TLBHitRate(); hr < 0 || hr > 1 {
+				t.Errorf("%v: tenant %s hit rate %f out of range", pol, tr.Name, hr)
+			}
+		}
+	}
+}
+
+func TestNewMultiValidation(t *testing.T) {
+	cfg := arch.Default()
+	k, as := tinyKernel(t, 2, 1)
+	if _, err := NewMulti(cfg, nil, MultiOptions{}); err == nil {
+		t.Error("empty tenant list accepted")
+	}
+	many := make([]Tenant, vm.MaxTenants+1)
+	for i := range many {
+		many[i] = Tenant{Name: "x", Kernel: k, AS: as, SMs: []int{0}}
+	}
+	if _, err := NewMulti(cfg, many, MultiOptions{}); err == nil {
+		t.Errorf("%d tenants accepted beyond the ASID limit", len(many))
+	}
+	k2, as2 := tinyKernel(t, 2, 1)
+	pair := []Tenant{
+		{Name: "a", Kernel: k, AS: as, SMs: []int{0}},
+		{Name: "b", Kernel: k2, AS: as2},
+	}
+	if _, err := NewMulti(cfg, pair, MultiOptions{}); err == nil {
+		t.Error("multi-tenant run without an SM assignment accepted")
+	}
+	pair[1].SMs = []int{cfg.NumSMs}
+	if _, err := NewMulti(cfg, pair, MultiOptions{}); err == nil {
+		t.Error("out-of-range SM id accepted")
+	}
+}

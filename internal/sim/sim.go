@@ -65,6 +65,10 @@ type Result struct {
 	NoCStalls     int64
 	DRAMRowHits   int64
 	DRAMRowMisses int64
+	// Tenants holds per-tenant results, in ASID order, for multi-tenant runs
+	// (NewMulti with two or more tenants). Single-tenant runs leave it nil so
+	// their serialized results stay identical to the pre-tenancy format.
+	Tenants []TenantResult `json:"tenants,omitempty"`
 	// Stats is the full hierarchical stats tree the run's components
 	// registered into — every field above is a view over it. Excluded from
 	// JSON results; dump it explicitly (e.g. the CLIs' -stats-out flag).
@@ -104,8 +108,13 @@ type pageDone struct {
 }
 
 type warpState struct {
-	sm    *smState
-	slot  int
+	sm   *smState
+	slot int
+	// tn is the owning tenant; asid caches tn.asid for the scheduler's
+	// residency probes (the zero value is correct for tenant 0, which keeps
+	// bare test fixtures valid).
+	tn    *tenantState
+	asid  vm.ASID
 	seq   int64 // dispatch order: GTO "oldest" priority
 	insts []trace.Inst
 	pc    int
@@ -146,12 +155,19 @@ type smState struct {
 	tbsRun                int
 }
 
-// Simulator runs one kernel to completion under one configuration.
+// Simulator runs one or more kernels to completion under one configuration.
+// Single-kernel runs (New) are the one-tenant special case of the
+// multi-tenant core (NewMulti) and behave bit-identically to the
+// pre-tenancy simulator.
 type Simulator struct {
-	cfg    arch.Config
-	kernel *trace.Kernel
-	as     *vm.AddressSpace
-	policy sched.Policy
+	cfg arch.Config
+	// tenants holds the co-running kernels in ASID order; single-kernel runs
+	// have exactly one, spanning every SM.
+	tenants []*tenantState
+	// l2Partitioned records whether the shared L2 TLB is partitioned per
+	// ASID (multi-tenant IndexByTB/IndexByTBShared); a finished tenant then
+	// releases its partition's sharing state like a finished TB does.
+	l2Partitioned bool
 
 	queue engine.Queue
 	clock engine.Cycle
@@ -176,9 +192,8 @@ type Simulator struct {
 	lastSampleAcc   int64
 	lastSampleWalks int64
 
-	nextTB          int
-	cursor          int
 	tbsDone         int
+	totalTBs        int
 	lastDone        engine.Cycle
 	warpSeq         int64
 	dispatchPending bool
@@ -187,14 +202,13 @@ type Simulator struct {
 
 	// Hot-path scratch: one coalesced memory instruction produces at most
 	// WarpSize pages/lines, so these buffers are sized once and reused for
-	// every instruction instead of being reallocated per issue. statusBuf
-	// backs the TB scheduler's per-SM status vector the same way.
-	pageBuf   []vm.VPN
-	lineBuf   []vm.Addr
-	transBuf  []pageDone
-	pickBuf   []vm.VPN // trans-aware warp scheduler's residency probes
-	orderBuf  []int
-	statusBuf []sched.SMStatus
+	// every instruction instead of being reallocated per issue. (The TB
+	// scheduler's status vector lives per tenant in tenantState.statusBuf.)
+	pageBuf  []vm.VPN
+	lineBuf  []vm.Addr
+	transBuf []pageDone
+	pickBuf  []vm.VPN // trans-aware warp scheduler's residency probes
+	orderBuf []int
 
 	pwc *tlb.TLB
 
@@ -221,27 +235,27 @@ type Simulator struct {
 	pageShift uint
 }
 
-// New builds a simulator. The kernel and address space must come from the
-// same workload build; cfg must be valid.
+// New builds a single-kernel simulator: the one-tenant special case of
+// NewMulti. The kernel and address space must come from the same workload
+// build; cfg must be valid.
 func New(cfg arch.Config, kernel *trace.Kernel, as *vm.AddressSpace) (*Simulator, error) {
+	return NewMulti(cfg, []Tenant{{Name: kernel.Name, Kernel: kernel, AS: as}}, MultiOptions{})
+}
+
+// NewMulti builds a simulator running the given tenants concurrently on one
+// GPU. Tenant i gets ASID i; each tenant needs an explicit SM assignment
+// when there is more than one (sched.AssignSMs builds the stock policies).
+// With a single tenant the options are ignored and the run is bit-identical
+// to New.
+func NewMulti(cfg arch.Config, tenants []Tenant, mopt MultiOptions) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	if as.PageShift() != cfg.PageShift() {
-		return nil, fmt.Errorf("sim: address space page shift %d does not match config %d",
-			as.PageShift(), cfg.PageShift())
-	}
-	if len(kernel.TBs) == 0 {
-		return nil, fmt.Errorf("sim: kernel %q has no thread blocks", kernel.Name)
-	}
-	if err := kernel.ValidatePhases(); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
+	if err := validateTenants(cfg, tenants); err != nil {
+		return nil, err
 	}
 	s := &Simulator{
 		cfg:         cfg,
-		kernel:      kernel,
-		as:          as,
-		policy:      sched.NewPolicy(cfg.TBScheduler),
 		l2cache:     cache.New(cfg.L2Cache),
 		l2tlbMeters: make([]noc.Meter, cfg.L2TLBPorts),
 		l2Inflight:  newInflightTable(cfg.NumSMs * cfg.TranslationMSHRs),
@@ -251,7 +265,30 @@ func New(cfg arch.Config, kernel *trace.Kernel, as *vm.AddressSpace) (*Simulator
 		lineBuf:     make([]vm.Addr, 0, arch.WarpSize),
 		transBuf:    make([]pageDone, arch.WarpSize),
 		pickBuf:     make([]vm.VPN, 0, arch.WarpSize),
-		statusBuf:   make([]sched.SMStatus, cfg.NumSMs),
+	}
+	slots := 0
+	for i, t := range tenants {
+		sms := t.SMs
+		if sms == nil {
+			sms = make([]int, cfg.NumSMs)
+			for j := range sms {
+				sms[j] = j
+			}
+		}
+		tn := &tenantState{
+			asid:      vm.ASID(i),
+			name:      t.Name,
+			kernel:    t.Kernel,
+			as:        t.AS,
+			sms:       sms,
+			policy:    sched.NewPolicy(cfg.TBScheduler),
+			statusBuf: make([]sched.SMStatus, len(sms)),
+		}
+		s.tenants = append(s.tenants, tn)
+		s.totalTBs += len(t.Kernel.TBs)
+		if n := t.Kernel.ConcurrentTBsPerSM(cfg); n > slots {
+			slots = n
+		}
 	}
 	s.dispatchFn = func() {
 		s.dispatchPending = false
@@ -267,17 +304,30 @@ func New(cfg arch.Config, kernel *trace.Kernel, as *vm.AddressSpace) (*Simulator
 		RowMissCycles: cfg.DRAMLatency,
 		LineBytes:     cfg.L1Cache.LineBytes,
 	})
-	s.l2tlb = tlb.New(cfg.L2TLB, tlb.Options{
+	// The shared L2 TLB is fully shared by default; multi-tenant runs may
+	// instead partition its sets per ASID (the paper's TB-id partitioning
+	// with the tenant in the TB's role), optionally with the dynamic
+	// adjacent-set sharing rule.
+	l2opt := tlb.Options{
 		Policy:      arch.IndexByAddress,
 		Compression: cfg.TLBCompression,
 		Replacement: cfg.TLBReplacement,
-	})
+	}
+	if len(tenants) > 1 && mopt.L2TLBPolicy != arch.IndexByAddress {
+		l2opt.Policy = mopt.L2TLBPolicy
+		l2opt.Sharing = cfg.SharingMode
+		l2opt.ShareCounterThreshold = cfg.ShareCounterThreshold
+		s.l2Partitioned = true
+	}
+	s.l2tlb = tlb.New(cfg.L2TLB, l2opt)
+	if s.l2Partitioned {
+		s.l2tlb.ConfigureSlots(len(tenants))
+	}
 	if cfg.PWCEntries > 0 {
 		// Fully-associative page-walk cache of last-level PT pointers.
 		s.pwc = tlb.New(arch.TLBConfig{Entries: cfg.PWCEntries, Assoc: cfg.PWCEntries, LookupLatency: 1},
 			tlb.Options{Policy: arch.IndexByAddress})
 	}
-	slots := kernel.ConcurrentTBsPerSM(cfg)
 	l1opt := tlb.Options{
 		Policy:                cfg.TLBIndexPolicy,
 		Sharing:               cfg.SharingMode,
@@ -289,10 +339,11 @@ func New(cfg arch.Config, kernel *trace.Kernel, as *vm.AddressSpace) (*Simulator
 		smID := i
 		opt := l1opt
 		// L1 victims refresh the shared L2 TLB so translations held by an SM
-		// do not age out of the L2 while they are hot in an L1.
-		opt.OnEvict = func(vpn vm.VPN, ppn vm.PPN) {
-			if !s.l2tlb.Contains(0, vpn) {
-				s.l2tlb.Insert(0, vpn, ppn)
+		// do not age out of the L2 while they are hot in an L1. The victim's
+		// ASID rides along so the write-back lands in its tenant's partition.
+		opt.OnEvict = func(asid vm.ASID, vpn vm.VPN, ppn vm.PPN) {
+			if !s.l2tlb.ContainsA(asid, int(asid), vpn) {
+				s.l2tlb.InsertA(asid, int(asid), vpn, ppn)
 			}
 			if s.tracer.Enabled() {
 				s.tracer.Instant(s.tracePID, smID, "l1tlb_evict", "tlb",
@@ -345,8 +396,31 @@ func (s *Simulator) buildRegistry() {
 	}
 	s.xbar.RegisterStats(root.Child("noc"))
 	s.mem.RegisterStats(root.Child("dram"))
-	s.as.RegisterStats(root.Child("vm"))
-	s.policy.Stats().RegisterStats(root.Child("sched"))
+	if len(s.tenants) == 1 {
+		// Single-tenant layout: identical node names to the pre-tenancy
+		// registry, so golden stats snapshots stay byte-for-byte stable.
+		s.tenants[0].as.RegisterStats(root.Child("vm"))
+		s.tenants[0].policy.Stats().RegisterStats(root.Child("sched"))
+		return
+	}
+	for _, tn := range s.tenants {
+		tn := tn
+		tr := root.Child(fmt.Sprintf("tenant%02d", tn.asid))
+		tr.CounterFunc("cycles", func() int64 { return int64(tn.lastDone) })
+		tr.CounterFunc("tbs_done", func() int64 { return int64(tn.tbsDone) })
+		tr.CounterFunc("insts_issued", func() int64 { return tn.insts })
+		tr.CounterFunc("page_requests", func() int64 { return tn.pageReqs })
+		tr.CounterFunc("l1_tlb_hits", func() int64 { return tn.l1Hits })
+		tr.CounterFunc("l2_tlb_hits", func() int64 { return tn.l2Hits })
+		tr.CounterFunc("walks", func() int64 { return tn.walks })
+		tr.CounterFunc("uvm_faults", func() int64 { return tn.faults })
+		tr.CounterFunc("stall_l1", func() int64 { return tn.stallL1 })
+		tr.CounterFunc("stall_l2", func() int64 { return tn.stallL2 })
+		tr.CounterFunc("stall_walk", func() int64 { return tn.stallWalk })
+		tr.CounterFunc("stall_fault", func() int64 { return tn.stallFault })
+		tn.as.RegisterStats(tr.Child("vm"))
+		tn.policy.Stats().RegisterStats(tr.Child("sched"))
+	}
 }
 
 // Registry returns the run's stats tree for querying or late registration.
@@ -369,7 +443,7 @@ func uintLog2(v int) uint {
 	return n
 }
 
-// Run simulates the kernel to completion and returns the results.
+// Run simulates every tenant's kernel to completion and returns the results.
 func (s *Simulator) Run() Result {
 	s.dispatch()
 	if s.cfg.SampleInterval > 0 {
@@ -380,8 +454,8 @@ func (s *Simulator) Run() Result {
 		s.clock = ev.At
 		ev.Fn()
 	}
-	if s.tbsDone != len(s.kernel.TBs) {
-		panic(fmt.Sprintf("sim: deadlock — %d of %d TBs finished", s.tbsDone, len(s.kernel.TBs)))
+	if s.tbsDone != s.totalTBs {
+		panic(fmt.Sprintf("sim: deadlock — %d of %d TBs finished", s.tbsDone, s.totalTBs))
 	}
 	return s.result()
 }
@@ -447,40 +521,66 @@ func (s *Simulator) result() Result {
 	if active > 0 {
 		r.L1TLBHitRate = rateSum / float64(active)
 	}
+	if len(s.tenants) > 1 {
+		for _, tn := range s.tenants {
+			r.Tenants = append(r.Tenants, tn.result())
+		}
+	}
 	r.Stats = s.stats.Snapshot()
 	return r
 }
 
-// dispatch places pending TBs onto SMs until the grid is exhausted, no SM
-// has a free slot, or the next TB belongs to a phase whose dependencies
-// have not completed (kernel-boundary barrier).
+// dispatch places pending TBs onto SMs, rotating over the tenants so no
+// tenant starves, until every tenant is blocked: grid exhausted, no free
+// slot on its SMs, or a phase barrier. With one tenant this reduces exactly
+// to the pre-tenancy loop (place one TB per iteration until blocked).
 func (s *Simulator) dispatch() {
-	for s.nextTB < len(s.kernel.TBs) {
-		if b := s.phaseBarrier(); s.nextTB >= b && s.tbsDone < b {
-			return // wait for the earlier phase to drain
-		}
-		statuses := s.statusBuf
-		for i, sm := range s.sms {
-			free := 0
-			for _, sl := range sm.slots {
-				if !sl.active {
-					free++
-				}
+	for {
+		placed := false
+		for _, tn := range s.tenants {
+			if s.placeNext(tn) {
+				placed = true
 			}
-			statuses[i] = sched.SMStatus{FreeSlots: free, TLBHits: sm.schedHits, TLBTotal: sm.schedTotal}
 		}
-		smIdx, cur := s.policy.Pick(statuses, s.cursor)
-		if smIdx < 0 {
+		if !placed {
 			return
 		}
-		s.cursor = cur
-		s.place(s.sms[smIdx], s.nextTB)
-		s.nextTB++
 	}
 }
 
-// place assigns TB tbIndex to a free hardware slot of sm and wakes its warps.
-func (s *Simulator) place(sm *smState, tbIndex int) {
+// placeNext tries to place tenant tn's next pending TB onto one of its SMs,
+// reporting whether a TB was placed.
+func (s *Simulator) placeNext(tn *tenantState) bool {
+	if tn.nextTB >= len(tn.kernel.TBs) {
+		return false
+	}
+	if b := tn.phaseBarrier(); tn.nextTB >= b && tn.tbsDone < b {
+		return false // wait for the earlier phase to drain
+	}
+	statuses := tn.statusBuf
+	for i, smID := range tn.sms {
+		sm := s.sms[smID]
+		free := 0
+		for _, sl := range sm.slots {
+			if !sl.active {
+				free++
+			}
+		}
+		statuses[i] = sched.SMStatus{FreeSlots: free, TLBHits: sm.schedHits, TLBTotal: sm.schedTotal}
+	}
+	smIdx, cur := tn.policy.Pick(statuses, tn.cursor)
+	if smIdx < 0 {
+		return false
+	}
+	tn.cursor = cur
+	s.place(tn, s.sms[tn.sms[smIdx]], tn.nextTB)
+	tn.nextTB++
+	return true
+}
+
+// place assigns tenant tn's TB tbIndex to a free hardware slot of sm and
+// wakes its warps.
+func (s *Simulator) place(tn *tenantState, sm *smState, tbIndex int) {
 	slot := -1
 	for i := range sm.slots {
 		if !sm.slots[i].active {
@@ -491,11 +591,11 @@ func (s *Simulator) place(sm *smState, tbIndex int) {
 	if slot < 0 {
 		panic("sim: place on SM without free slot")
 	}
-	tb := &s.kernel.TBs[tbIndex]
+	tb := &tn.kernel.TBs[tbIndex]
 	sm.slots[slot] = slotState{active: true, tbIndex: tbIndex, remainingWarps: len(tb.Warps), dispatchedAt: s.clock}
 	sm.tbsRun++
 	for w := range tb.Warps {
-		ws := &warpState{sm: sm, slot: slot, seq: s.warpSeq, insts: tb.Warps[w].Insts}
+		ws := &warpState{sm: sm, slot: slot, tn: tn, asid: tn.asid, seq: s.warpSeq, insts: tb.Warps[w].Insts}
 		ws.wake = func() {
 			ws.sm.ready = append(ws.sm.ready, ws)
 			s.armTick(ws.sm, s.clock)
@@ -633,7 +733,7 @@ func (s *Simulator) pickTransAware(sm *smState) int {
 			probed++
 			s.pickBuf = trace.CoalescePagesInto(s.pickBuf, in.Addrs, s.pageShift)
 			for _, vpn := range s.pickBuf {
-				if !sm.l1tlb.Contains(ws.slot, vpn) {
+				if !sm.l1tlb.ContainsA(ws.asid, ws.slot, vpn) {
 					resident = false
 					break
 				}
@@ -659,10 +759,11 @@ func (s *Simulator) issue(ws *warpState) {
 	in := ws.insts[ws.pc]
 	ws.pc++
 	s.instsIssued.Inc()
+	ws.tn.insts++
 
 	var done engine.Cycle
 	if in.IsMem() {
-		done = s.executeMem(ws.sm, ws.slot, in)
+		done = s.executeMem(ws, in)
 	} else {
 		c := in.Compute
 		if c < 1 {
@@ -675,6 +776,9 @@ func (s *Simulator) issue(ws *warpState) {
 		if done > s.lastDone {
 			s.lastDone = done
 		}
+		if done > ws.tn.lastDone {
+			ws.tn.lastDone = done
+		}
 		s.queue.Schedule(done, ws.retire)
 		return
 	}
@@ -682,7 +786,9 @@ func (s *Simulator) issue(ws *warpState) {
 }
 
 // retireWarp accounts a finished warp; the last warp of a TB frees the slot,
-// resets the TLB sharing flags for that TB id, and triggers dispatch.
+// resets the TLB sharing flags for that TB id, and triggers dispatch. A
+// tenant's last TB additionally releases its L2 TLB partition's sharing
+// state (multi-tenant partitioned runs only).
 func (s *Simulator) retireWarp(ws *warpState) {
 	sm := ws.sm
 	sl := &sm.slots[ws.slot]
@@ -699,26 +805,30 @@ func (s *Simulator) retireWarp(ws *warpState) {
 			int64(sl.dispatchedAt), int64(s.clock-sl.dispatchedAt), nil)
 	}
 	sm.l1tlb.OnTBFinish(ws.slot)
+	tn := ws.tn
+	tn.tbsDone++
 	s.tbsDone++
-	s.scheduleDispatch()
-}
-
-// phaseBarrier returns the first phase boundary not yet fully retired, or
-// the grid size when none remains.
-func (s *Simulator) phaseBarrier() int {
-	for _, b := range s.kernel.PhaseStarts {
-		if s.tbsDone < b {
-			return b
-		}
+	if s.l2Partitioned && tn.tbsDone == len(tn.kernel.TBs) {
+		s.l2tlb.OnTBFinish(int(tn.asid))
 	}
-	return len(s.kernel.TBs)
+	s.scheduleDispatch()
 }
 
 // scheduleDispatch arms the TB scheduler's next periodic run. Freed slots
 // accumulate until it fires, so the scheduler sees several candidate SMs at
 // once — the situation where the TLB-aware policy differs from round-robin.
 func (s *Simulator) scheduleDispatch() {
-	if s.dispatchPending || s.nextTB >= len(s.kernel.TBs) {
+	if s.dispatchPending {
+		return
+	}
+	pending := false
+	for _, tn := range s.tenants {
+		if tn.nextTB < len(tn.kernel.TBs) {
+			pending = true
+			break
+		}
+	}
+	if !pending {
 		return
 	}
 	s.dispatchPending = true
@@ -731,15 +841,17 @@ func (s *Simulator) scheduleDispatch() {
 // completion cycle: translations for every distinct page, then the data
 // accesses of every distinct line, each starting when its page's
 // translation completes. The warp blocks until the slowest request.
-func (s *Simulator) executeMem(sm *smState, slot int, in trace.Inst) engine.Cycle {
+func (s *Simulator) executeMem(ws *warpState, in trace.Inst) engine.Cycle {
+	sm, slot, tn := ws.sm, ws.slot, ws.tn
 	pages := trace.CoalescePagesInto(s.pageBuf, in.Addrs, s.pageShift)
 	s.pageBuf = pages
 	s.pageRequests.Add(int64(len(pages)))
+	tn.pageReqs += int64(len(pages))
 
 	trans := s.transBuf[:len(pages)]
 	instDone := s.clock + 1
 	for i, vpn := range pages {
-		ppn, done, hit := s.translate(sm, slot, vpn)
+		ppn, done, hit := s.translate(tn, sm, slot, vpn)
 		trans[i] = pageDone{vpn, ppn, done, hit}
 		s.recordTranslationLatency(done - s.clock)
 		if done > instDone {
@@ -802,11 +914,17 @@ func (s *Simulator) dataAccess(sm *smState, phys cache.LineAddr, start engine.Cy
 	return s.xbar.Return(part, sm.id, t)
 }
 
-// translate resolves one VPN through L1 TLB -> L2 TLB -> page-table walkers,
-// returning the PPN, the cycle the translation is available to the SM, and
-// whether it hit in the L1 TLB (a VIPT hit overlaps the cache access).
-func (s *Simulator) translate(sm *smState, slot int, vpn vm.VPN) (vm.PPN, engine.Cycle, bool) {
-	ppn, hit, probed := sm.l1tlb.Lookup(slot, vpn)
+// translate resolves tenant tn's VPN through L1 TLB -> L2 TLB -> page-table
+// walkers, returning the PPN, the cycle the translation is available to the
+// SM, and whether it hit in the L1 TLB (a VIPT hit overlaps the cache
+// access). Every structure along the path is ASID-aware: TLB and PWC
+// entries are tagged, and the MSHR/in-flight tables key on the
+// ASID-qualified VPN so same-VPN misses from different tenants never merge.
+// The per-tenant stall counters classify the request by where it resolved.
+func (s *Simulator) translate(tn *tenantState, sm *smState, slot int, vpn vm.VPN) (vm.PPN, engine.Cycle, bool) {
+	asid := tn.asid
+	key := tenantKey(asid, vpn)
+	ppn, hit, probed := sm.l1tlb.LookupA(asid, slot, vpn)
 	cost := probed * s.cfg.L1TLB.LookupLatency
 	if s.cfg.TLBCompression {
 		cost += s.cfg.CompressionLatency
@@ -821,6 +939,8 @@ func (s *Simulator) translate(sm *smState, slot int, vpn vm.VPN) (vm.PPN, engine
 	}
 	t1 := s.clock + engine.Cycle(cost)
 	if hit {
+		tn.l1Hits++
+		tn.stallL1 += int64(t1 - s.clock)
 		return ppn, t1, true
 	}
 	if s.tracer.Enabled() {
@@ -829,10 +949,12 @@ func (s *Simulator) translate(sm *smState, slot int, vpn vm.VPN) (vm.PPN, engine
 	}
 
 	// Merge with an in-flight miss to the same page from this SM (MSHR).
-	if inf, ok := sm.inflight.get(vpn); ok && inf.done > s.clock {
+	if inf, ok := sm.inflight.get(key); ok && inf.done > s.clock {
 		if t1 > inf.done {
+			tn.stallWalk += int64(t1 - s.clock)
 			return inf.ppn, t1, false
 		}
+		tn.stallWalk += int64(inf.done - s.clock)
 		return inf.ppn, inf.done, false
 	}
 
@@ -850,7 +972,7 @@ func (s *Simulator) translate(sm *smState, slot int, vpn vm.VPN) (vm.PPN, engine
 
 	tlbPart := int(uint64(vpn) % uint64(s.cfg.MemPartitions))
 	t2 := s.xbar.Traverse(sm.id, tlbPart, t1)
-	ppn2, hit2, probed2 := s.l2tlb.Lookup(0, vpn)
+	ppn2, hit2, probed2 := s.l2tlb.LookupA(asid, int(asid), vpn)
 	// The L2 TLB bank for this VPN serves one probe at a time: queue
 	// behind earlier probes, then occupy the port for the lookup.
 	bank := int(vpn) % len(s.l2tlbMeters)
@@ -859,38 +981,41 @@ func (s *Simulator) translate(sm *smState, slot int, vpn vm.VPN) (vm.PPN, engine
 	t3 := start + engine.Cycle(l2cost)
 	if hit2 {
 		done := s.xbar.Return(tlbPart, sm.id, t3)
-		sm.l1tlb.Insert(slot, vpn, ppn2)
+		sm.l1tlb.InsertA(asid, slot, vpn, ppn2)
 		s.traceFill(sm.id, vpn, done, "l2tlb")
-		sm.inflight.put(vpn, ppn2, done, s.clock)
+		sm.inflight.put(key, ppn2, done, s.clock)
 		sm.missHandlers[h] = done
+		tn.l2Hits++
+		tn.stallL2 += int64(done - s.clock)
 		return ppn2, done, false
 	}
 
-	// Merge with a walk in flight from another SM.
-	if inf, ok := s.l2Inflight.get(vpn); ok && inf.done > s.clock {
+	// Merge with a walk in flight from another SM of the same tenant.
+	if inf, ok := s.l2Inflight.get(key); ok && inf.done > s.clock {
 		wait := inf.done
 		if t3 > wait {
 			wait = t3
 		}
 		done := s.xbar.Return(tlbPart, sm.id, wait)
-		sm.l1tlb.Insert(slot, vpn, inf.ppn)
-		sm.inflight.put(vpn, inf.ppn, done, s.clock)
+		sm.l1tlb.InsertA(asid, slot, vpn, inf.ppn)
+		sm.inflight.put(key, inf.ppn, done, s.clock)
 		sm.missHandlers[h] = done
+		tn.stallWalk += int64(done - s.clock)
 		return inf.ppn, done, false
 	}
 
 	// Page-table walk (first touch demand-pages under UVM). A page-walk
 	// cache hit on the 2MB region's last-level pointer skips the upper
 	// levels, leaving only the leaf reference.
-	wppn, faulted := s.as.Touch(vm.Addr(vpn) << s.pageShift)
+	wppn, faulted := tn.as.Touch(vm.Addr(vpn) << s.pageShift)
 	lat := engine.Cycle(s.cfg.WalkLatency)
 	if s.pwc != nil {
 		region := vm.VPN(vpn >> 9)
-		if _, hit, _ := s.pwc.Lookup(0, region); hit {
+		if _, hit, _ := s.pwc.LookupA(asid, 0, region); hit {
 			lat = engine.Cycle(s.cfg.WalkLatency / vm.Levels)
 			s.pwcHits.Inc()
 		} else {
-			s.pwc.Insert(0, region, 0)
+			s.pwc.InsertA(asid, 0, region, 0)
 		}
 	}
 	if faulted {
@@ -905,18 +1030,25 @@ func (s *Simulator) translate(sm *smState, slot int, vpn vm.VPN) (vm.PPN, engine
 	wstart := s.walkerMeter.Reserve(t3, poolCost)
 	wdone := wstart + lat
 	s.walks.Inc()
+	tn.walks++
 	if faulted {
 		s.faults.Inc()
+		tn.faults++
 	}
 	s.traceWalk(sm.id, vpn, wstart, wdone, faulted)
 
-	s.l2tlb.Insert(0, vpn, wppn)
-	sm.l1tlb.Insert(slot, vpn, wppn)
+	s.l2tlb.InsertA(asid, int(asid), vpn, wppn)
+	sm.l1tlb.InsertA(asid, slot, vpn, wppn)
 	s.traceFill(sm.id, vpn, wdone, "walk")
-	s.l2Inflight.put(vpn, wppn, wdone, s.clock)
+	s.l2Inflight.put(key, wppn, wdone, s.clock)
 	done := s.xbar.Return(tlbPart, sm.id, wdone)
-	sm.inflight.put(vpn, wppn, done, s.clock)
+	sm.inflight.put(key, wppn, done, s.clock)
 	sm.missHandlers[h] = done
+	if faulted {
+		tn.stallFault += int64(done - s.clock)
+	} else {
+		tn.stallWalk += int64(done - s.clock)
+	}
 	return wppn, done, false
 }
 
@@ -966,6 +1098,15 @@ const walkerTID = 1 << 20
 // Run is the package-level convenience: build and run in one call.
 func Run(cfg arch.Config, kernel *trace.Kernel, as *vm.AddressSpace) (Result, error) {
 	s, err := New(cfg, kernel, as)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(), nil
+}
+
+// RunMulti is the multi-tenant convenience: build and run in one call.
+func RunMulti(cfg arch.Config, tenants []Tenant, opt MultiOptions) (Result, error) {
+	s, err := NewMulti(cfg, tenants, opt)
 	if err != nil {
 		return Result{}, err
 	}

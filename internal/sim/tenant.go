@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"gputlb/internal/arch"
+	"gputlb/internal/engine"
+	"gputlb/internal/sched"
+	"gputlb/internal/trace"
+	"gputlb/internal/vm"
+)
+
+// Tenant is one co-running kernel of a multi-tenant simulation. Its ASID is
+// its index in the tenant slice passed to NewMulti.
+type Tenant struct {
+	// Name labels the tenant in results (usually the benchmark name).
+	Name string
+	// Kernel and AS are the tenant's trace and private UVM address space;
+	// the pair must come from the same workload build.
+	Kernel *trace.Kernel
+	AS     *vm.AddressSpace
+	// SMs lists the SM ids this tenant may dispatch TBs to (see
+	// sched.AssignSMs for the stock policies); nil means every SM.
+	SMs []int
+}
+
+// MultiOptions tunes the shared translation hardware of a multi-tenant run.
+// The zero value leaves every structure fully shared.
+type MultiOptions struct {
+	// L2TLBPolicy selects how the shared L2 TLB treats tenants:
+	// IndexByAddress (default) leaves it fully shared — ASID-tagged entries
+	// in one common replacement pool; IndexByTB statically partitions its
+	// sets per ASID; IndexByTBShared adds the paper's dynamic adjacent-set
+	// sharing rule on top of the static partition, with the tenant in the
+	// role the TB id plays in the single-kernel design.
+	L2TLBPolicy arch.TLBIndexPolicy
+}
+
+// TenantResult summarizes one tenant of a multi-tenant run. Stall counters
+// sum the request-to-completion cycles of the tenant's translation
+// requests, split by where the translation resolved — the per-tenant
+// translation-stall breakdown of the interference experiments.
+type TenantResult struct {
+	ASID         vm.ASID `json:"asid"`
+	Name         string  `json:"name"`
+	Cycles       int64   `json:"cycles"` // completion of the tenant's last warp
+	InstsIssued  int64   `json:"insts_issued"`
+	PageRequests int64   `json:"page_requests"`
+	L1TLBHits    int64   `json:"l1_tlb_hits"`
+	L2TLBHits    int64   `json:"l2_tlb_hits"`
+	Walks        int64   `json:"walks"`
+	Faults       int64   `json:"faults"`
+	StallL1      int64   `json:"stall_l1"`
+	StallL2      int64   `json:"stall_l2"`
+	StallWalk    int64   `json:"stall_walk"`
+	StallFault   int64   `json:"stall_fault"`
+}
+
+// IPC returns the tenant's instructions per cycle over its own runtime.
+func (t TenantResult) IPC() float64 {
+	if t.Cycles == 0 {
+		return 0
+	}
+	return float64(t.InstsIssued) / float64(t.Cycles)
+}
+
+// L1TLBHitRate returns the tenant's private L1 TLB hit rate.
+func (t TenantResult) L1TLBHitRate() float64 {
+	if t.PageRequests == 0 {
+		return 0
+	}
+	return float64(t.L1TLBHits) / float64(t.PageRequests)
+}
+
+// StallTotal sums the translation-stall breakdown.
+func (t TenantResult) StallTotal() int64 {
+	return t.StallL1 + t.StallL2 + t.StallWalk + t.StallFault
+}
+
+// tenantState is the simulator's per-tenant bookkeeping: the dispatch
+// cursor over the tenant's kernel, its private address space, and the
+// counters behind TenantResult. Single-tenant runs have exactly one, with
+// ASID 0, spanning every SM — the pre-tenancy behaviour.
+type tenantState struct {
+	asid   vm.ASID
+	name   string
+	kernel *trace.Kernel
+	as     *vm.AddressSpace
+	sms    []int
+	policy sched.Policy
+
+	nextTB   int
+	cursor   int
+	tbsDone  int
+	lastDone engine.Cycle
+
+	insts    int64
+	pageReqs int64
+	l1Hits   int64
+	l2Hits   int64
+	walks    int64
+	faults   int64
+
+	stallL1, stallL2, stallWalk, stallFault int64
+
+	// statusBuf backs the TB scheduler's per-SM status vector, sized to the
+	// tenant's SM list so dispatch stays allocation-free.
+	statusBuf []sched.SMStatus
+}
+
+// result materializes the tenant's counters.
+func (tn *tenantState) result() TenantResult {
+	return TenantResult{
+		ASID:         tn.asid,
+		Name:         tn.name,
+		Cycles:       int64(tn.lastDone),
+		InstsIssued:  tn.insts,
+		PageRequests: tn.pageReqs,
+		L1TLBHits:    tn.l1Hits,
+		L2TLBHits:    tn.l2Hits,
+		Walks:        tn.walks,
+		Faults:       tn.faults,
+		StallL1:      tn.stallL1,
+		StallL2:      tn.stallL2,
+		StallWalk:    tn.stallWalk,
+		StallFault:   tn.stallFault,
+	}
+}
+
+// phaseBarrier returns the tenant's first phase boundary not yet fully
+// retired, or its grid size when none remains.
+func (tn *tenantState) phaseBarrier() int {
+	for _, b := range tn.kernel.PhaseStarts {
+		if tn.tbsDone < b {
+			return b
+		}
+	}
+	return len(tn.kernel.TBs)
+}
+
+// asidKeyShift packs a tenant's ASID into unused high bits of the VPN keys
+// of the MSHR/in-flight walk tables, so concurrent same-VPN misses from
+// different tenants never merge. Trace VPNs sit far below 2^56 and
+// vm.MaxTenants bounds the ASID, so the packed key never collides.
+const asidKeyShift = 56
+
+// tenantKey tags a VPN with its tenant for the in-flight tables.
+func tenantKey(asid vm.ASID, vpn vm.VPN) vm.VPN {
+	return vpn | vm.VPN(asid)<<asidKeyShift
+}
+
+// validateTenants checks a NewMulti tenant list against the configuration.
+func validateTenants(cfg arch.Config, tenants []Tenant) error {
+	if len(tenants) == 0 {
+		return errors.New("sim: at least one tenant required")
+	}
+	if len(tenants) > vm.MaxTenants {
+		return fmt.Errorf("sim: %d tenants exceeds the ASID limit of %d", len(tenants), vm.MaxTenants)
+	}
+	for i, tn := range tenants {
+		if tn.Kernel == nil || tn.AS == nil {
+			return fmt.Errorf("sim: tenant %d missing kernel or address space", i)
+		}
+		if tn.AS.PageShift() != cfg.PageShift() {
+			return fmt.Errorf("sim: address space page shift %d does not match config %d",
+				tn.AS.PageShift(), cfg.PageShift())
+		}
+		if len(tn.Kernel.TBs) == 0 {
+			return fmt.Errorf("sim: kernel %q has no thread blocks", tn.Kernel.Name)
+		}
+		if err := tn.Kernel.ValidatePhases(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+		for _, sm := range tn.SMs {
+			if sm < 0 || sm >= cfg.NumSMs {
+				return fmt.Errorf("sim: tenant %d assigned to SM %d outside [0,%d)", i, sm, cfg.NumSMs)
+			}
+		}
+	}
+	switch {
+	case len(tenants) > 1:
+		for i, tn := range tenants {
+			if len(tn.SMs) == 0 {
+				return fmt.Errorf("sim: tenant %d has no SMs assigned", i)
+			}
+		}
+	}
+	return nil
+}

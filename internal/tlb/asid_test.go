@@ -1,0 +1,153 @@
+package tlb
+
+// ASID tenancy properties. The multi-tenant simulator runs every shared TLB
+// with ASID-tagged entries; these tests pin down the two guarantees the
+// tenancy layer rests on: (1) under a static per-ASID partition, a tenant's
+// hit/miss behaviour is exactly what it would see running alone — the
+// partition is full performance isolation; (2) an ASID never hits another
+// ASID's entries, even for the identical VPN, in any indexing mode.
+
+import (
+	"math/rand"
+	"testing"
+
+	"gputlb/internal/arch"
+	"gputlb/internal/vm"
+)
+
+// asidStream is a reproducible VPN reference stream with reuse: random
+// walks over a window of vpns pages starting at base.
+func asidStream(seed int64, base vm.VPN, vpns, n int) []vm.VPN {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]vm.VPN, n)
+	for i := range out {
+		out[i] = base + vm.VPN(rng.Intn(vpns))
+	}
+	return out
+}
+
+// runTenant replays stream as tenant asid against tl (slot = asid, the
+// multi-tenant convention), inserting on every miss like the simulator's
+// fill path, and returns the per-access hit pattern.
+func runTenant(tl *TLB, asid vm.ASID, stream []vm.VPN) []bool {
+	hits := make([]bool, len(stream))
+	for i, vpn := range stream {
+		_, hit, _ := tl.LookupA(asid, int(asid), vpn)
+		if !hit {
+			tl.InsertA(asid, int(asid), vpn, vm.PPN(vpn)+1)
+		}
+		hits[i] = hit
+	}
+	return hits
+}
+
+func TestStaticPartitionMatchesIsolatedRuns(t *testing.T) {
+	// Two tenants with disjoint VPN streams interleaved through one
+	// statically partitioned TLB must each see exactly the hit/miss
+	// sequence of an isolated run — per-tenant miss counts included.
+	cfg := arch.TLBConfig{Entries: 512, Assoc: 8, LookupLatency: 1}
+	streams := [][]vm.VPN{
+		asidStream(1, 0x1000, 128, 4000),
+		asidStream(2, 0x9000, 256, 4000), // disjoint window, different reuse
+	}
+
+	// Isolated references: each tenant alone, same 2-slot partitioning, so
+	// it owns the identical set range it owns in the co-run.
+	var want [][]bool
+	for i, s := range streams {
+		tl := New(cfg, Options{Policy: arch.IndexByTB})
+		tl.ConfigureSlots(2)
+		want = append(want, runTenant(tl, vm.ASID(i), s))
+	}
+
+	// Co-run: one TLB, accesses interleaved access-by-access.
+	co := New(cfg, Options{Policy: arch.IndexByTB})
+	co.ConfigureSlots(2)
+	got := [][]bool{make([]bool, 0, len(streams[0])), make([]bool, 0, len(streams[1]))}
+	for i := range streams[0] {
+		for tn := range streams {
+			vpn := streams[tn][i]
+			_, hit, _ := co.LookupA(vm.ASID(tn), tn, vpn)
+			if !hit {
+				co.InsertA(vm.ASID(tn), tn, vpn, vm.PPN(vpn)+1)
+			}
+			got[tn] = append(got[tn], hit)
+		}
+	}
+
+	for tn := range streams {
+		misses := func(hs []bool) int {
+			n := 0
+			for _, h := range hs {
+				if !h {
+					n++
+				}
+			}
+			return n
+		}
+		if gm, wm := misses(got[tn]), misses(want[tn]); gm != wm {
+			t.Errorf("tenant %d: %d misses co-running, %d in isolation", tn, gm, wm)
+		}
+		for i := range got[tn] {
+			if got[tn][i] != want[tn][i] {
+				t.Fatalf("tenant %d access %d: co-run hit=%v, isolated hit=%v — static partition leaked interference",
+					tn, i, got[tn][i], want[tn][i])
+			}
+		}
+	}
+}
+
+func TestASIDNeverCrossHits(t *testing.T) {
+	// The same VPN inserted by two tenants must resolve per-tenant in every
+	// indexing mode: entries coexist, lookups return the owner's PPN, and a
+	// third tenant misses.
+	mk := map[string]func() *TLB{
+		"address": addrTLB,
+		"static":  func() *TLB { return partTLB(3) },
+		"dynamic": func() *TLB { return sharedTLB(3) },
+	}
+	for name, build := range mk {
+		tl := build()
+		slot := func(asid vm.ASID) int {
+			if name == "address" {
+				return 0
+			}
+			return int(asid)
+		}
+		const vpn = vm.VPN(0x4242)
+		tl.InsertA(0, slot(0), vpn, 100)
+		if _, hit, _ := tl.LookupA(1, slot(1), vpn); hit {
+			t.Errorf("%s: ASID 1 hit ASID 0's entry", name)
+		}
+		tl.InsertA(1, slot(1), vpn, 200)
+		p0, hit0, _ := tl.LookupA(0, slot(0), vpn)
+		p1, hit1, _ := tl.LookupA(1, slot(1), vpn)
+		if !hit0 || p0 != 100 {
+			t.Errorf("%s: ASID 0 lookup = (%d, %v), want (100, hit)", name, p0, hit0)
+		}
+		if !hit1 || p1 != 200 {
+			t.Errorf("%s: ASID 1 lookup = (%d, %v), want (200, hit)", name, p1, hit1)
+		}
+		if tl.ContainsA(2, slot(2), vpn) {
+			t.Errorf("%s: ASID 2 sees other tenants' entries", name)
+		}
+	}
+}
+
+func TestASIDCrossHitProperty(t *testing.T) {
+	// Randomized sweep of the same guarantee on the address-indexed design:
+	// whatever tenant A inserts, tenant B never hits.
+	rng := rand.New(rand.NewSource(42))
+	tl := addrTLB()
+	for i := 0; i < 2000; i++ {
+		vpn := vm.VPN(rng.Intn(1 << 16))
+		a := vm.ASID(rng.Intn(4))
+		tl.InsertA(a, 0, vpn, vm.PPN(a)<<32|vm.PPN(vpn))
+		b := vm.ASID(rng.Intn(4))
+		if ppn, hit, _ := tl.LookupA(b, 0, vpn); hit {
+			if owner := vm.ASID(ppn >> 32); owner != b {
+				t.Fatalf("ASID %d hit ASID %d's entry for vpn %#x", b, owner, vpn)
+			}
+		}
+	}
+}

@@ -30,8 +30,9 @@ type Options struct {
 	// OnEvict, when set, is called with every valid entry this TLB evicts
 	// (victim write-back: an L1 TLB hands its victims to the L2 so
 	// L1-resident translations do not go stale there). Compressed entries
-	// report their base page.
-	OnEvict func(vpn vm.VPN, ppn vm.PPN)
+	// report their base page. The victim's ASID rides along so multi-tenant
+	// write-backs land in the right tenant's L2 partition.
+	OnEvict func(asid vm.ASID, vpn vm.VPN, ppn vm.PPN)
 }
 
 // Stats counts TLB activity. ProbeSets accumulates the number of sets
@@ -60,11 +61,12 @@ func (s Stats) HitRate() float64 {
 
 type entry struct {
 	valid  bool
-	vpn    vm.VPN // full VPN (partitioned designs) or group base (compressed)
-	ppn    vm.PPN // PPN of vpn (compressed: of the group base)
-	mask   uint64 // compressed: bitmap of present pages in the group
-	stamp  uint64 // LRU timestamp
-	filled uint64 // insertion timestamp (FIFO)
+	asid   vm.ASID // owning tenant; a lookup only matches its own ASID
+	vpn    vm.VPN  // full VPN (partitioned designs) or group base (compressed)
+	ppn    vm.PPN  // PPN of vpn (compressed: of the group base)
+	mask   uint64  // compressed: bitmap of present pages in the group
+	stamp  uint64  // LRU timestamp
+	filled uint64  // insertion timestamp (FIFO)
 }
 
 // TLB is one translation buffer. It is not safe for concurrent use; the
@@ -224,10 +226,18 @@ func uintLog2(v int) uint {
 	return n
 }
 
-// Lookup translates vpn for the TB in the given slot. It returns the PPN on
-// a hit and the number of sets probed (each costing cfg.LookupLatency
-// cycles). slot is ignored under IndexByAddress.
+// Lookup translates vpn for the TB in the given slot under ASID 0 — the
+// single-tenant path. It returns the PPN on a hit and the number of sets
+// probed (each costing cfg.LookupLatency cycles). slot is ignored under
+// IndexByAddress.
 func (t *TLB) Lookup(slot int, vpn vm.VPN) (ppn vm.PPN, hit bool, setsProbed int) {
+	return t.LookupA(0, slot, vpn)
+}
+
+// LookupA is Lookup for an explicit tenant: only entries tagged with asid
+// can hit, so co-running tenants sharing a physical TLB contend for capacity
+// without aliasing each other's translations.
+func (t *TLB) LookupA(asid vm.ASID, slot int, vpn vm.VPN) (ppn vm.PPN, hit bool, setsProbed int) {
 	t.clock++
 	t.stats.Accesses++
 	tag, bit := t.probeKey(vpn)
@@ -237,7 +247,7 @@ func (t *TLB) Lookup(slot int, vpn vm.VPN) (ppn vm.PPN, hit bool, setsProbed int
 		ways := t.sets[si]
 		for w := range ways {
 			e := &ways[w]
-			if !e.valid || e.vpn != tag {
+			if !e.valid || e.vpn != tag || e.asid != asid {
 				continue
 			}
 			if t.opt.Compression && e.mask&bit == 0 {
@@ -256,14 +266,19 @@ func (t *TLB) Lookup(slot int, vpn vm.VPN) (ppn vm.PPN, hit bool, setsProbed int
 	return 0, false, len(probe)
 }
 
-// Contains reports whether vpn is present for slot without disturbing LRU or
-// stats (test/diagnostic helper).
+// Contains reports whether vpn is present for slot under ASID 0 without
+// disturbing LRU or stats (test/diagnostic helper).
 func (t *TLB) Contains(slot int, vpn vm.VPN) bool {
+	return t.ContainsA(0, slot, vpn)
+}
+
+// ContainsA is Contains for an explicit tenant.
+func (t *TLB) ContainsA(asid vm.ASID, slot int, vpn vm.VPN) bool {
 	tag, bit := t.probeKey(vpn)
 	for _, si := range t.setsToProbe(slot, vpn) {
 		for w := range t.sets[si] {
 			e := &t.sets[si][w]
-			if e.valid && e.vpn == tag && (!t.opt.Compression || e.mask&bit != 0) {
+			if e.valid && e.vpn == tag && e.asid == asid && (!t.opt.Compression || e.mask&bit != 0) {
 				return true
 			}
 		}
@@ -271,12 +286,19 @@ func (t *TLB) Contains(slot int, vpn vm.VPN) bool {
 	return false
 }
 
-// Insert installs vpn→ppn for the TB in slot after a miss has been resolved.
-// Under compression it first tries to coalesce into an entry covering the
-// same aligned group with a consistent VPN→PPN delta. Under partitioning
-// with sharing, an eviction victim may be relocated into the adjacent TB's
-// sets when a way there is free, activating the sharing flag (paper Fig. 9).
+// Insert installs vpn→ppn for the TB in slot after a miss has been resolved,
+// under ASID 0 (the single-tenant path). Under compression it first tries to
+// coalesce into an entry covering the same aligned group with a consistent
+// VPN→PPN delta. Under partitioning with sharing, an eviction victim may be
+// relocated into the adjacent TB's sets when a way there is free, activating
+// the sharing flag (paper Fig. 9).
 func (t *TLB) Insert(slot int, vpn vm.VPN, ppn vm.PPN) {
+	t.InsertA(0, slot, vpn, ppn)
+}
+
+// InsertA is Insert for an explicit tenant; the entry is tagged with asid
+// and only that tenant's lookups can hit it.
+func (t *TLB) InsertA(asid vm.ASID, slot int, vpn vm.VPN, ppn vm.PPN) {
 	t.clock++
 	tag, bit := t.probeKey(vpn)
 
@@ -286,7 +308,7 @@ func (t *TLB) Insert(slot int, vpn vm.VPN, ppn vm.PPN) {
 	for _, si := range probe {
 		for w := range t.sets[si] {
 			e := &t.sets[si][w]
-			if !e.valid || e.vpn != tag {
+			if !e.valid || e.vpn != tag || e.asid != asid {
 				continue
 			}
 			if !t.opt.Compression {
@@ -312,7 +334,7 @@ func (t *TLB) Insert(slot int, vpn vm.VPN, ppn vm.PPN) {
 	for _, si := range probe {
 		for w := range t.sets[si] {
 			if !t.sets[si][w].valid {
-				t.fill(&t.sets[si][w], tag, vpn, ppn, bit)
+				t.fill(&t.sets[si][w], asid, tag, vpn, ppn, bit)
 				return
 			}
 		}
@@ -332,7 +354,7 @@ func (t *TLB) Insert(slot int, vpn vm.VPN, ppn vm.PPN) {
 			for _, si := range probe {
 				for w := range t.sets[si] {
 					if !t.sets[si][w].valid {
-						t.fill(&t.sets[si][w], tag, vpn, ppn, bit)
+						t.fill(&t.sets[si][w], asid, tag, vpn, ppn, bit)
 						t.stats.Spills++
 						return
 					}
@@ -345,9 +367,9 @@ func (t *TLB) Insert(slot int, vpn vm.VPN, ppn vm.PPN) {
 	vsi, vw := t.lruVictim(probe)
 	t.stats.Evictions++
 	if v := t.sets[vsi][vw]; v.valid && t.opt.OnEvict != nil {
-		t.opt.OnEvict(v.vpn, v.ppn)
+		t.opt.OnEvict(v.asid, v.vpn, v.ppn)
 	}
-	t.fill(&t.sets[vsi][vw], tag, vpn, ppn, bit)
+	t.fill(&t.sets[vsi][vw], asid, tag, vpn, ppn, bit)
 }
 
 // maybeActivateSharing decides whether an oversubscribed slot should start
@@ -412,8 +434,8 @@ func (t *TLB) oldestStamp(lo, hi int) uint64 {
 	return best
 }
 
-func (t *TLB) fill(e *entry, tag, vpn vm.VPN, ppn vm.PPN, bit uint64) {
-	*e = entry{valid: true, vpn: tag, stamp: t.clock, filled: t.clock}
+func (t *TLB) fill(e *entry, asid vm.ASID, tag, vpn vm.VPN, ppn vm.PPN, bit uint64) {
+	*e = entry{valid: true, asid: asid, vpn: tag, stamp: t.clock, filled: t.clock}
 	if t.opt.Compression {
 		// Store the PPN the group base would have if the run were
 		// contiguous; coalescing later verifies the delta holds.

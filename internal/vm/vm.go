@@ -17,6 +17,18 @@ type VPN uint64
 // PPN is a physical page number.
 type PPN uint64
 
+// ASID identifies a tenant's address space in multi-tenant runs. TLB and
+// page-walk-cache entries, MSHRs, and in-flight walker state are tagged with
+// it so co-running kernels contend for capacity without ever aliasing each
+// other's translations. Single-tenant runs use ASID 0 throughout, which
+// keeps their behaviour bit-identical to the pre-tenancy simulator.
+type ASID uint8
+
+// MaxTenants bounds how many address spaces can co-run in one simulation;
+// it is the practical limit for ASID key-packing in the MSHR tables, far
+// above the 2-4 concurrent kernels the experiments sweep.
+const MaxTenants = 8
+
 // Levels in the radix page table (PML4, PDP, PD, PT).
 const Levels = 4
 

@@ -1,8 +1,11 @@
 package workloads
 
 import (
+	"container/list"
 	"sync"
+	"sync/atomic"
 
+	"gputlb/internal/stats"
 	"gputlb/internal/trace"
 	"gputlb/internal/vm"
 )
@@ -13,9 +16,21 @@ import (
 // evaluation simulates each workload under four configurations; without the
 // cache it regenerates the identical trace four times. Kernel traces are
 // immutable once built (the simulator only reads them), so the cached kernel
-// is handed out as-is with no locking on the warm path. Address spaces are
-// mutated by simulation (demand paging), so each caller gets a fresh
-// vm.AddressSpace fork of the builder's pristine allocation layout instead.
+// is handed out as-is. Address spaces are mutated by simulation (demand
+// paging), so each caller gets a fresh vm.AddressSpace fork of the builder's
+// pristine allocation layout instead.
+//
+// The cache is bounded: it holds at most TraceCacheCap builds and evicts the
+// least recently used one past that, so a long-lived daemon sweeping many
+// (benchmark, scale, seed) points — the multi-tenant interference grid alone
+// crosses every benchmark pair — cannot grow it without limit. Entries are
+// built outside the lock (a per-entry sync.Once), so an eviction can race a
+// slow first build; the evicted entry still finishes and serves its caller,
+// the cache just forgets it.
+
+// DefaultTraceCacheCap is the initial cache bound, sized to hold the full
+// benchmark suite at a few (scale, seed) points at once.
+const DefaultTraceCacheCap = 32
 
 // cacheKey identifies one build. Params is a comparable struct of scalars,
 // so the pair is directly usable as a map key.
@@ -28,14 +43,23 @@ type cacheKey struct {
 // sweep workers asking for the same key build it a single time; kernel and
 // proto are written inside the once and read-only afterwards.
 type cacheEntry struct {
+	key    cacheKey
 	once   sync.Once
 	kernel *trace.Kernel
 	proto  *vm.AddressSpace
 }
 
-// traceCache maps cacheKey -> *cacheEntry. sync.Map keeps the warm read
-// path lock-free, which is what parallel sweeps hit on every cell.
-var traceCache sync.Map
+// traceCache is the bounded LRU state: entries indexes the recency list,
+// whose front is the most recently used build. evictions survives
+// ClearTraceCache — it counts capacity evictions only, which is what the
+// occupancy metrics report.
+var (
+	cacheMu      sync.Mutex
+	cacheEntries = map[cacheKey]*list.Element{}
+	cacheOrder   = list.New()
+	cacheCap     = DefaultTraceCacheCap
+	evictions    atomic.Int64
+)
 
 // Cached returns the kernel trace for (spec, p), building it on first use
 // and sharing the immutable result across all callers, plus a fresh address
@@ -43,15 +67,32 @@ var traceCache sync.Map
 // read-only; the address space is the caller's own.
 func Cached(spec Spec, p Params) (*trace.Kernel, *vm.AddressSpace) {
 	key := cacheKey{spec.Name, p}
-	v, ok := traceCache.Load(key)
-	if !ok {
-		v, _ = traceCache.LoadOrStore(key, &cacheEntry{})
+	cacheMu.Lock()
+	el, ok := cacheEntries[key]
+	if ok {
+		cacheOrder.MoveToFront(el)
+	} else {
+		el = cacheOrder.PushFront(&cacheEntry{key: key})
+		cacheEntries[key] = el
+		for cacheCap > 0 && len(cacheEntries) > cacheCap {
+			evictLockedLRU()
+		}
 	}
-	e := v.(*cacheEntry)
+	e := el.Value.(*cacheEntry)
+	cacheMu.Unlock()
 	e.once.Do(func() {
 		e.kernel, e.proto = spec.Build(p)
 	})
 	return e.kernel, e.proto.Fork()
+}
+
+// evictLockedLRU drops the least recently used entry. Caller holds cacheMu
+// and guarantees the cache is non-empty.
+func evictLockedLRU() {
+	oldest := cacheOrder.Back()
+	cacheOrder.Remove(oldest)
+	delete(cacheEntries, oldest.Value.(*cacheEntry).key)
+	evictions.Add(1)
 }
 
 // CachedByName is Cached keyed by benchmark name.
@@ -64,22 +105,63 @@ func CachedByName(name string, p Params) (*trace.Kernel, *vm.AddressSpace, bool)
 	return k, as, true
 }
 
-// ClearTraceCache drops every cached build. Benchmarks use it to charge
-// first-build cost to each measurement; long-lived processes sweeping many
-// seeds can use it to bound memory.
+// ClearTraceCache drops every cached build (without counting evictions).
+// Benchmarks use it to charge first-build cost to each measurement.
 func ClearTraceCache() {
-	traceCache.Range(func(k, _ any) bool {
-		traceCache.Delete(k)
-		return true
-	})
+	cacheMu.Lock()
+	cacheEntries = map[cacheKey]*list.Element{}
+	cacheOrder.Init()
+	cacheMu.Unlock()
 }
 
 // TraceCacheLen reports how many builds are currently cached.
 func TraceCacheLen() int {
-	n := 0
-	traceCache.Range(func(_, _ any) bool {
-		n++
-		return true
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	return len(cacheEntries)
+}
+
+// TraceCacheCap reports the current cache bound; 0 means unbounded.
+func TraceCacheCap() int {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	return cacheCap
+}
+
+// SetTraceCacheCap rebounds the cache to at most n entries, evicting the
+// least recently used builds immediately if it currently holds more. n <= 0
+// removes the bound.
+func SetTraceCacheCap(n int) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if n <= 0 {
+		cacheCap = 0
+		return
+	}
+	cacheCap = n
+	for len(cacheEntries) > cacheCap {
+		evictLockedLRU()
+	}
+}
+
+// TraceCacheEvictions reports how many builds capacity pressure has evicted
+// over the process lifetime.
+func TraceCacheEvictions() int64 {
+	return evictions.Load()
+}
+
+// RegisterCacheStats registers the cache's observability metrics on r:
+// entry count, capacity, lifetime evictions, and an occupancy gauge
+// (entries/capacity, 0 when unbounded). Long-lived daemons surface these
+// through their metrics endpoint. Register at most once per registry.
+func RegisterCacheStats(r *stats.Registry) {
+	r.CounterFunc("entries", func() int64 { return int64(TraceCacheLen()) })
+	r.CounterFunc("capacity", func() int64 { return int64(TraceCacheCap()) })
+	r.CounterFunc("evictions", TraceCacheEvictions)
+	r.GaugeFunc("occupancy", func() float64 {
+		if c := TraceCacheCap(); c > 0 {
+			return float64(TraceCacheLen()) / float64(c)
+		}
+		return 0
 	})
-	return n
 }
