@@ -32,11 +32,13 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Both suite targets shuffle test order so inter-test state leaks surface
+# in CI instead of in a refactor six months later.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 test-race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
@@ -45,15 +47,19 @@ bench-json:
 	$(GO) run ./cmd/perfgate -o BENCH_sim.json
 
 # perf-smoke skips the Eval-sweep wall-clock measurement (machine-dependent)
-# and fails only if allocs per simulated instruction regress more than 2x
-# against the committed numbers — a deterministic property of the code.
+# and gates only deterministic properties: allocs per simulated instruction
+# (fails on >2x vs the committed numbers) and the sharded engine's
+# shard-vs-barrier work split (fails if the parallel fraction or its Amdahl
+# projection drop below the pinned floors).
 perf-smoke:
 	$(GO) run ./cmd/perfgate -check -skip-sweep -o BENCH_sim.json
 
 # multi-smoke exercises the multi-tenant path end to end at a small scale:
-# one benchmark pair across the full {TLB mode} x {SM assignment} grid.
+# one benchmark pair across the full {TLB mode} x {SM assignment} grid, on
+# the sharded intra-cell engine under the race detector — the quick check
+# that the epoch-barrier protocol stays race-clean on the full tenancy grid.
 multi-smoke:
-	$(GO) run ./cmd/evaluate -fig multi -bench bfs,atax -scale 0.1
+	$(GO) run -race ./cmd/evaluate -fig multi -bench bfs,atax -scale 0.1 -cell-parallel 4
 
 fuzz:
 	$(GO) test -fuzz FuzzReadKernel -fuzztime 10s ./internal/trace/

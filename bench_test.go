@@ -8,6 +8,7 @@ package gputlb_test
 // +14.3%, full proposal -12.5%).
 
 import (
+	"runtime"
 	"testing"
 
 	"gputlb"
@@ -183,6 +184,41 @@ func BenchmarkSimPerInst(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		insts += r.InstsIssued
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(insts), "ns/inst")
+	}
+}
+
+// BenchmarkSimPerInstParallel is BenchmarkSimPerInst on the sharded
+// epoch-barrier engine with GOMAXPROCS workers (at least two, so the
+// sharded engine is exercised even on a single-core machine); the ns/inst
+// ratio between the two is the intra-cell speedup cmd/perfgate projects
+// and gates.
+func BenchmarkSimPerInstParallel(b *testing.B) {
+	p := gputlb.DefaultParams()
+	p.Scale = 0.2
+	k, proto, err := gputlb.Build("bfs", p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	cfg := gputlb.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var insts int64
+	for i := 0; i < b.N; i++ {
+		s, err := gputlb.NewSimulator(cfg, k, proto.Fork())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.SetCellParallel(workers)
+		r := s.Run()
 		insts += r.InstsIssued
 	}
 	b.StopTimer()

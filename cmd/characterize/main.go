@@ -37,6 +37,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "workload scale factor")
 		seed     = flag.Int64("seed", 1, "workload generation seed")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells (results are identical at any value)")
+		cellPar  = flag.Int("cell-parallel", 1, "intra-cell engine for the simulating figures: 1 = serial (golden-identical), N>=2 = sharded epoch-barrier engine with up to N workers per cell")
 		jsonOut  = flag.Bool("json", false, "emit the row structs as JSON instead of tables")
 		daemon   = flag.String("daemon", "", "submit the Figure 2 sweep to a gputlbd at this URL instead of simulating in-process")
 		out      cliutil.OutputFlags
@@ -67,7 +68,7 @@ func main() {
 		if *fig != "2" {
 			log.Fatalf("-daemon runs the simulating figure only; use -fig 2 (got -fig %s)", *fig)
 		}
-		rows, err := fig2ViaDaemon(*daemon, benchmarks, *scale, *seed)
+		rows, err := fig2ViaDaemon(*daemon, benchmarks, *scale, *seed, *cellPar)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -84,6 +85,7 @@ func main() {
 	opt.Params.Scale = *scale
 	opt.Params.Seed = *seed
 	opt.Parallelism = *parallel
+	opt.CellParallel = *cellPar
 	opt.Benchmarks = benchmarks
 	opt.StatsDump = out.NewStatsDump()
 	opt.Tracer = out.NewTracer()
@@ -143,14 +145,15 @@ func main() {
 
 // fig2ViaDaemon runs the Figure 2 capacity sweep on a gputlbd and
 // reconstructs the rows from the job's cell results.
-func fig2ViaDaemon(baseURL string, benchmarks []string, scale float64, seed int64) ([]gputlb.Fig2Row, error) {
+func fig2ViaDaemon(baseURL string, benchmarks []string, scale float64, seed int64, cellParallel int) ([]gputlb.Fig2Row, error) {
 	c := &jobs.Client{BaseURL: baseURL}
 	id, err := c.Submit(jobs.JobSpec{
-		Name:       "characterize-fig2",
-		Benchmarks: benchmarks,
-		Configs:    []string{"64-entry", "256-entry"},
-		Scale:      scale,
-		Seed:       seed,
+		Name:         "characterize-fig2",
+		Benchmarks:   benchmarks,
+		Configs:      []string{"64-entry", "256-entry"},
+		Scale:        scale,
+		Seed:         seed,
+		CellParallel: cellParallel,
 	})
 	if err != nil {
 		return nil, err

@@ -14,7 +14,7 @@ import (
 // reconstructs the figure rows from the returned cell results. The cells
 // are deterministic, so the daemon path renders exactly what an
 // in-process run would.
-func runViaDaemon(baseURL, fig string, benchmarks []string, scale float64, seed int64, jsonOut bool) error {
+func runViaDaemon(baseURL, fig string, benchmarks []string, scale float64, seed int64, cellParallel int, jsonOut bool) error {
 	c := &jobs.Client{BaseURL: baseURL}
 	want := func(name string) bool { return fig == "all" || fig == name }
 	emit := func(name, table string, rows any) error {
@@ -32,11 +32,12 @@ func runViaDaemon(baseURL, fig string, benchmarks []string, scale float64, seed 
 	// benchmark-major expansion).
 	submit := func(name string, configs []string) ([][]jobs.CellResult, error) {
 		id, err := c.Submit(jobs.JobSpec{
-			Name:       name,
-			Benchmarks: benchmarks,
-			Configs:    configs,
-			Scale:      scale,
-			Seed:       seed,
+			Name:         name,
+			Benchmarks:   benchmarks,
+			Configs:      configs,
+			Scale:        scale,
+			Seed:         seed,
+			CellParallel: cellParallel,
 		})
 		if err != nil {
 			return nil, err
@@ -62,7 +63,7 @@ func runViaDaemon(baseURL, fig string, benchmarks []string, scale float64, seed 
 	}
 
 	if fig == "multi" {
-		return runMultiViaDaemon(c, benchmarks, scale, seed, emit)
+		return runMultiViaDaemon(c, benchmarks, scale, seed, cellParallel, emit)
 	}
 	supported := map[string]bool{"all": true, "10": true, "11": true, "12": true, "hugepage": true}
 	if !supported[fig] {
@@ -144,7 +145,7 @@ func runViaDaemon(baseURL, fig string, benchmarks []string, scale float64, seed 
 // MultiRow rows an in-process run would render. Both paths derive every
 // figure number from the same integer counters, so the output is
 // byte-identical.
-func runMultiViaDaemon(c *jobs.Client, benchmarks []string, scale float64, seed int64, emit func(string, string, any) error) error {
+func runMultiViaDaemon(c *jobs.Client, benchmarks []string, scale float64, seed int64, cellParallel int, emit func(string, string, any) error) error {
 	benches := benchmarks
 	if len(benches) == 0 {
 		benches = gputlb.WorkloadNames()
@@ -157,11 +158,11 @@ func runMultiViaDaemon(c *jobs.Client, benchmarks []string, scale float64, seed 
 
 	var cells []jobs.CellSpec
 	for _, b := range benches {
-		cells = append(cells, jobs.CellSpec{Bench: b, Config: "baseline", Scale: scale, Seed: seed})
+		cells = append(cells, jobs.CellSpec{Bench: b, Config: "baseline", Scale: scale, Seed: seed, CellParallel: cellParallel})
 	}
 	for _, p := range pairs {
 		for _, cfg := range configs {
-			cells = append(cells, jobs.CellSpec{Tenants: p[:], Config: cfg, Scale: scale, Seed: seed})
+			cells = append(cells, jobs.CellSpec{Tenants: p[:], Config: cfg, Scale: scale, Seed: seed, CellParallel: cellParallel})
 		}
 	}
 	id, err := c.Submit(jobs.JobSpec{Name: "evaluate-multi", Cells: cells})

@@ -36,6 +36,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "workload scale factor")
 		seed     = flag.Int64("seed", 1, "workload generation seed")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells (results are identical at any value)")
+		cellPar  = flag.Int("cell-parallel", 1, "intra-cell engine: 1 = serial (golden-identical), N>=2 = sharded epoch-barrier engine with up to N workers per cell (bit-identical at any N>=2)")
 		jsonOut  = flag.Bool("json", false, "emit the row structs as JSON instead of tables")
 		daemon   = flag.String("daemon", "", "submit the sweep to a gputlbd at this URL instead of running in-process (figs 10/11/12/hugepage/multi)")
 		out      cliutil.OutputFlags
@@ -49,7 +50,7 @@ func main() {
 	}
 
 	if *daemon != "" {
-		if err := runViaDaemon(*daemon, *fig, benchmarks, *scale, *seed, *jsonOut); err != nil {
+		if err := runViaDaemon(*daemon, *fig, benchmarks, *scale, *seed, *cellPar, *jsonOut); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -64,6 +65,7 @@ func main() {
 	opt.Params.Scale = *scale
 	opt.Params.Seed = *seed
 	opt.Parallelism = *parallel
+	opt.CellParallel = *cellPar
 	opt.Benchmarks = benchmarks
 	opt.StatsDump = out.NewStatsDump()
 	opt.Tracer = out.NewTracer()

@@ -39,6 +39,7 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit results as JSON")
 		tracePath   = flag.String("trace", "", "replay a binary kernel trace instead of building a benchmark")
 		configPath  = flag.String("config", "", "load the machine configuration from a JSON file")
+		cellPar     = flag.Int("cell-parallel", 1, "intra-cell engine: 1 = serial (golden-identical), N>=2 = sharded epoch-barrier engine with up to N workers (bit-identical at any N>=2)")
 		outputs     cliutil.OutputFlags
 	)
 	outputs.Register(flag.CommandLine)
@@ -127,6 +128,7 @@ func main() {
 	if tracer != nil {
 		s.SetTracer(tracer, 0)
 	}
+	s.SetCellParallel(*cellPar)
 	res := s.Run()
 
 	// A single run exports its stats Snapshot directly rather than a

@@ -55,13 +55,47 @@ type PerInst struct {
 	BytesPerInst  float64 `json:"bytes_per_inst"`
 }
 
+// PerCellParallel is the sharded intra-cell engine's measurement: the
+// phase breakdown of one representative sharded run (bfs, baseline config,
+// golden scale) plus a serial-engine run of the same cell as the speedup
+// baseline.
+//
+// Two projections are recorded. ParallelFrac and Projected8Core come from
+// the deterministic event counts (shard-local events are the parallel
+// section; barrier ops and global events the serial one) — identical on
+// every machine, which is what lets a 1-core CI box gate the epoch-barrier
+// work split. TimeProjected8Core is the wall-clock Amdahl projection
+// against the measured serial engine, LegacySeconds/(Phase1/8+Barrier) —
+// machine-dependent, recorded on the reference machine for the ledger.
+//
+// The projections sit near 2.1-2.7x rather than the ideal 8x because the
+// serial barrier replays every shared-memory-system transaction: on the
+// L2-bound golden workloads, roughly a third of all simulated work is L2
+// cache probes, crossbar port reservations and DRAM metering, whose
+// serial order is pinned by the committed golden stats. Raising the
+// ceiling needs an address-sliced L2 with per-partition barrier passes
+// (see DESIGN.md), which changes model semantics and golden stats.
+type PerCellParallel struct {
+	LocalEvents        int64   `json:"local_events"`
+	BarrierOps         int64   `json:"barrier_ops"`
+	GlobalEvents       int64   `json:"global_events"`
+	Epochs             int64   `json:"epochs"`
+	ParallelFrac       float64 `json:"parallel_fraction"`
+	Projected8Core     float64 `json:"projected_speedup_8core"`
+	LegacySeconds      float64 `json:"legacy_seconds"`
+	Phase1Seconds      float64 `json:"phase1_seconds"`
+	BarrierSeconds     float64 `json:"barrier_seconds"`
+	TimeProjected8Core float64 `json:"time_projected_speedup_8core"`
+}
+
 // Measurement is one full perfgate run.
 type Measurement struct {
-	Recorded      string  `json:"recorded"`
-	GoMaxProcs    int     `json:"gomaxprocs"`
-	EvalParallel1 Sweep   `json:"eval_sweep_parallel1"`
-	EvalParallel8 Sweep   `json:"eval_sweep_parallel8"`
-	PerInst       PerInst `json:"per_inst"`
+	Recorded        string           `json:"recorded"`
+	GoMaxProcs      int              `json:"gomaxprocs"`
+	EvalParallel1   Sweep            `json:"eval_sweep_parallel1"`
+	EvalParallel8   Sweep            `json:"eval_sweep_parallel8"`
+	PerInst         PerInst          `json:"per_inst"`
+	PerCellParallel *PerCellParallel `json:"per_cell_parallel,omitempty"`
 }
 
 // File is the BENCH_sim.json layout: the pinned pre-optimization baseline
@@ -152,21 +186,105 @@ func runCheck(path string) error {
 			"fix the allocation or refresh BENCH_sim.json with `make bench-json` if intentional",
 			got.AllocsPerInst, limit, committed)
 	}
+	pcp := measurePerCellParallel()
+	fmt.Printf("cell-parallel: %.4f parallel fraction (%d local events, %d barrier ops, %d global), "+
+		"%.2fx count-projected / %.2fx time-projected on 8 cores\n",
+		pcp.ParallelFrac, pcp.LocalEvents, pcp.BarrierOps, pcp.GlobalEvents,
+		pcp.Projected8Core, pcp.TimeProjected8Core)
+	if pcp.ParallelFrac < minParallelFrac {
+		return fmt.Errorf("cell-parallel regression: parallel fraction %.4f below the %.2f floor — "+
+			"too much work moved from the shards to the serial barrier", pcp.ParallelFrac, minParallelFrac)
+	}
+	if pcp.Projected8Core < minProjected8Core {
+		return fmt.Errorf("cell-parallel regression: projected 8-core speedup %.2fx below the %.1fx floor "+
+			"(parallel fraction %.4f) — too much work moved from the shards to the serial barrier",
+			pcp.Projected8Core, minProjected8Core, pcp.ParallelFrac)
+	}
 	fmt.Println("perf gate OK")
 	return nil
 }
 
+// minProjected8Core and minParallelFrac are the CI floors for the sharded
+// engine's deterministic Amdahl projection and work split. Both are pinned
+// just under the measured values for the representative bfs cell (0.607
+// fraction, 2.13x projection): the gate exists to catch structural
+// regressions that shift work from the shards into the serial barrier, not
+// to enforce an aspiration the monolithic-L2 model cannot meet (see the
+// PerCellParallel doc comment for the ceiling analysis).
+const (
+	minProjected8Core = 2.0
+	minParallelFrac   = 0.55
+)
+
 func measure(label string, skipSweep bool) Measurement {
+	pcp := measurePerCellParallel()
 	m := Measurement{
-		Recorded:   label,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		PerInst:    measurePerInst(),
+		Recorded:        label,
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		PerInst:         measurePerInst(),
+		PerCellParallel: &pcp,
 	}
 	if !skipSweep {
 		m.EvalParallel1 = measureEval(1)
 		m.EvalParallel8 = measureEval(8)
 	}
 	return m
+}
+
+// measurePerCellParallel runs the representative cell on both engines and
+// derives the projections described on PerCellParallel. The sharded run
+// uses two workers: the event counts are identical at every worker count,
+// and two workers keep the phase-1 wall clock close to the actual shard
+// work on small machines (more workers only add scheduler ping-pong there).
+func measurePerCellParallel() PerCellParallel {
+	spec, ok := workloads.ByName("bfs")
+	if !ok {
+		log.Fatal("unknown benchmark bfs")
+	}
+	k, as := workloads.Cached(spec, workloads.Params{PageShift: 12, Seed: 1, Scale: 0.2})
+
+	serial, err := sim.New(arch.Default(), k, as)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	serial.Run()
+	legacySecs := time.Since(start).Seconds()
+
+	s, err := sim.New(arch.Default(), k, as)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.SetCellParallel(2)
+	s.Run()
+	p := s.Profile()
+	total := p.LocalEvents + p.BarrierOps + p.GlobalEvents
+	var frac float64
+	if total > 0 {
+		frac = float64(p.LocalEvents) / float64(total)
+	}
+	var timeProj float64
+	if denom := p.Phase1Seconds/8 + p.BarrierSeconds; denom > 0 {
+		timeProj = legacySecs / denom
+	}
+	return PerCellParallel{
+		LocalEvents:        p.LocalEvents,
+		BarrierOps:         p.BarrierOps,
+		GlobalEvents:       p.GlobalEvents,
+		Epochs:             p.Epochs,
+		ParallelFrac:       frac,
+		Projected8Core:     amdahl(frac, 8),
+		LegacySeconds:      legacySecs,
+		Phase1Seconds:      p.Phase1Seconds,
+		BarrierSeconds:     p.BarrierSeconds,
+		TimeProjected8Core: timeProj,
+	}
+}
+
+// amdahl is the classic projection: speedup on n cores with parallel
+// fraction f of the work.
+func amdahl(f float64, n float64) float64 {
+	return 1 / ((1 - f) + f/n)
 }
 
 // measureEval times the full Figure 10/11 evaluate sweep at the given

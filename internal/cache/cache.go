@@ -8,6 +8,10 @@ import (
 // LineAddr identifies a cache line (byte address >> line shift).
 type LineAddr uint64
 
+// invalidTag marks an empty way. Real line addresses are byte addresses
+// shifted right by the line size, so the all-ones pattern can never occur.
+const invalidTag = ^LineAddr(0)
+
 // Stats counts cache activity.
 type Stats struct {
 	Accesses  int64
@@ -24,28 +28,34 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Accesses)
 }
 
-type line struct {
-	valid bool
-	tag   LineAddr
-	stamp uint64
-}
-
 // Cache is one cache level. Not safe for concurrent use.
+//
+// Tags and LRU stamps live in flat parallel arrays rather than per-set
+// structs: a probe scans the set's ways as one contiguous run of words, so
+// the common hit path touches a single host cache line. The stamp array is
+// only read when choosing a victim and written on hits.
 type Cache struct {
-	cfg   arch.CacheConfig
-	sets  [][]line
-	clock uint64
-	stats Stats
+	cfg    arch.CacheConfig
+	assoc  int
+	nsets  int
+	tags   []LineAddr // nsets*assoc; invalidTag marks an empty way
+	stamps []uint64   // nsets*assoc; LRU clock of the last touch
+	clock  uint64
+	stats  Stats
 }
 
 // New builds a cache from a validated config.
 func New(cfg arch.CacheConfig) *Cache {
-	c := &Cache{cfg: cfg}
 	n := cfg.Sets()
-	c.sets = make([][]line, n)
-	backing := make([]line, n*cfg.Assoc)
-	for i := range c.sets {
-		c.sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	c := &Cache{
+		cfg:    cfg,
+		assoc:  cfg.Assoc,
+		nsets:  n,
+		tags:   make([]LineAddr, n*cfg.Assoc),
+		stamps: make([]uint64, n*cfg.Assoc),
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
 	return c
 }
@@ -72,47 +82,50 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 
 // setOf maps a line to its set. Set counts need not be powers of two (the
 // 1536KB L2 has 1536 sets), so this uses modulo, not masking.
-func (c *Cache) setOf(addr LineAddr) int { return int(addr % LineAddr(len(c.sets))) }
+func (c *Cache) setOf(addr LineAddr) int { return int(addr % LineAddr(c.nsets)) }
 
 // Access looks up the line, allocating it on a miss (evicting LRU if the set
 // is full). It reports whether the access hit.
 func (c *Cache) Access(addr LineAddr) bool {
 	c.clock++
 	c.stats.Accesses++
-	set := c.sets[c.setOf(addr)]
-	victim := 0
-	best := ^uint64(0)
-	for w := range set {
-		l := &set[w]
-		if l.valid && l.tag == addr {
-			l.stamp = c.clock
+	base := c.setOf(addr) * c.assoc
+	tags := c.tags[base : base+c.assoc]
+	for w := range tags {
+		if tags[w] == addr {
+			c.stamps[base+w] = c.clock
 			c.stats.Hits++
 			return true
 		}
-		if !l.valid {
-			if best != 0 { // prefer any invalid way
-				best = 0
-				victim = w
-			}
-			continue
+	}
+	c.stats.Misses++
+	// Victim: the first empty way if any, else the least recently used.
+	victim := 0
+	best := ^uint64(0)
+	for w := range tags {
+		if tags[w] == invalidTag {
+			victim = w
+			best = 0
+			break
 		}
-		if l.stamp < best {
-			best = l.stamp
+		if s := c.stamps[base+w]; s < best {
+			best = s
 			victim = w
 		}
 	}
-	c.stats.Misses++
-	if set[victim].valid {
+	if best != 0 {
 		c.stats.Evictions++
 	}
-	set[victim] = line{valid: true, tag: addr, stamp: c.clock}
+	c.tags[base+victim] = addr
+	c.stamps[base+victim] = c.clock
 	return false
 }
 
 // Contains reports presence without disturbing LRU or stats.
 func (c *Cache) Contains(addr LineAddr) bool {
-	for _, l := range c.sets[c.setOf(addr)] {
-		if l.valid && l.tag == addr {
+	base := c.setOf(addr) * c.assoc
+	for _, tg := range c.tags[base : base+c.assoc] {
+		if tg == addr {
 			return true
 		}
 	}
@@ -122,11 +135,9 @@ func (c *Cache) Contains(addr LineAddr) bool {
 // Occupancy returns the number of valid lines.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for _, set := range c.sets {
-		for _, l := range set {
-			if l.valid {
-				n++
-			}
+	for _, tg := range c.tags {
+		if tg != invalidTag {
+			n++
 		}
 	}
 	return n
@@ -134,9 +145,8 @@ func (c *Cache) Occupancy() int {
 
 // Flush invalidates all lines.
 func (c *Cache) Flush() {
-	for si := range c.sets {
-		for w := range c.sets[si] {
-			c.sets[si][w] = line{}
-		}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+		c.stamps[i] = 0
 	}
 }

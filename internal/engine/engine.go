@@ -8,14 +8,20 @@ type Event struct {
 	At Cycle
 	Fn func()
 
-	seq int64 // tie-break: FIFO among same-cycle events
+	pri uint64 // tie-break: explicit priority among same-cycle events
+	seq int64  // tie-break: FIFO among same-cycle, same-priority events
 }
 
-// before is the heap order: earliest cycle first, insertion order within a
-// cycle.
+// before is the heap order: earliest cycle first, then priority, then
+// insertion order. Schedule leaves every event at priority zero, so plain
+// queues order purely by (cycle, insertion) — SchedulePri callers opt into
+// the middle key.
 func (e Event) before(o Event) bool {
 	if e.At != o.At {
 		return e.At < o.At
+	}
+	if e.pri != o.pri {
+		return e.pri < o.pri
 	}
 	return e.seq < o.seq
 }
@@ -31,6 +37,17 @@ type Queue struct {
 // simulator's Run loop does.
 func (q *Queue) Schedule(at Cycle, fn func()) {
 	q.h = append(q.h, Event{At: at, Fn: fn, seq: q.nextSeq})
+	q.nextSeq++
+	q.up(len(q.h) - 1)
+}
+
+// SchedulePri enqueues fn to run at cycle at with an explicit same-cycle
+// priority: events at equal cycles run in ascending pri, insertion order
+// within equal pri. The sharded engine uses this to order same-cycle events
+// by when they were *logically* produced rather than by which epoch barrier
+// happened to insert them.
+func (q *Queue) SchedulePri(at Cycle, pri uint64, fn func()) {
+	q.h = append(q.h, Event{At: at, Fn: fn, pri: pri, seq: q.nextSeq})
 	q.nextSeq++
 	q.up(len(q.h) - 1)
 }

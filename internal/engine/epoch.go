@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"sync/atomic"
+)
+
+// ShardFunc advances one shard's event stream up to (but excluding) the
+// epoch limit. The runner guarantees each shard index is passed to exactly
+// one call per epoch, and that every call of an epoch returns before
+// RunEpoch does — so a ShardFunc may freely mutate shard-owned state
+// without locks as long as it never touches another shard's.
+type ShardFunc func(shard int, limit Cycle)
+
+// EpochRunner executes a fixed set of shards epoch by epoch across a worker
+// pool. Shards are claimed dynamically (an atomic cursor), so the mapping
+// of shards to workers varies run to run — which is exactly why a ShardFunc
+// must depend only on its own shard's state: outcomes are then a pure
+// function of (shard, limit) and the results are bit-identical at any
+// worker count, including one.
+//
+// With one worker (or one shard) the runner degenerates to a plain loop on
+// the calling goroutine: no goroutines, no synchronization, no allocation.
+// With more, workers are started once and reused for every epoch; a
+// RunEpoch costs two channel operations per worker and allocates nothing.
+type EpochRunner struct {
+	shards  int
+	workers int
+	fn      ShardFunc
+
+	next  atomic.Int64 // shard-claim cursor for the current epoch
+	start []chan Cycle // per-worker epoch kick, carries the limit
+	done  chan struct{}
+	open  bool
+}
+
+// NewEpochRunner builds a runner over `shards` shards with up to `workers`
+// concurrent workers (capped at the shard count; values below 2 mean the
+// caller's goroutine runs every shard serially). fn is invoked once per
+// shard per epoch.
+func NewEpochRunner(shards, workers int, fn ShardFunc) *EpochRunner {
+	if shards < 1 {
+		panic("engine: EpochRunner needs at least one shard")
+	}
+	if workers > shards {
+		workers = shards
+	}
+	r := &EpochRunner{shards: shards, workers: workers, fn: fn}
+	if workers < 2 {
+		return r
+	}
+	r.start = make([]chan Cycle, workers)
+	r.done = make(chan struct{}, workers)
+	for w := range r.start {
+		r.start[w] = make(chan Cycle)
+		go r.worker(r.start[w])
+	}
+	r.open = true
+	return r
+}
+
+// worker is one pool goroutine: it waits for an epoch kick, claims shards
+// until the cursor runs out, and signals completion. The channel receive
+// and send establish the happens-before edges that make the coordinator's
+// reads of shard state race-free.
+func (r *EpochRunner) worker(kick chan Cycle) {
+	for limit := range kick {
+		for {
+			i := r.next.Add(1) - 1
+			if i >= int64(r.shards) {
+				break
+			}
+			r.fn(int(i), limit)
+		}
+		r.done <- struct{}{}
+	}
+}
+
+// RunEpoch runs every shard once up to limit and returns when all have
+// finished. Calls are serial: the caller is the barrier.
+func (r *EpochRunner) RunEpoch(limit Cycle) {
+	if r.start == nil {
+		for i := 0; i < r.shards; i++ {
+			r.fn(i, limit)
+		}
+		return
+	}
+	r.next.Store(0)
+	for _, kick := range r.start {
+		kick <- limit
+	}
+	for range r.start {
+		<-r.done
+	}
+}
+
+// Close stops the worker goroutines. The runner must not be used after
+// Close; calling Close twice is safe.
+func (r *EpochRunner) Close() {
+	if !r.open {
+		return
+	}
+	r.open = false
+	for _, kick := range r.start {
+		close(kick)
+	}
+}

@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEpochRunnerCoversEveryShard: every shard index is visited exactly once
+// per epoch, at every worker count.
+func TestEpochRunnerCoversEveryShard(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		const shards = 16
+		var visits [shards]atomic.Int64
+		r := NewEpochRunner(shards, workers, func(i int, limit Cycle) {
+			visits[i].Add(1)
+			if limit != 40 {
+				t.Errorf("workers=%d: shard %d got limit %d, want 40", workers, i, limit)
+			}
+		})
+		const epochs = 50
+		for e := 0; e < epochs; e++ {
+			r.RunEpoch(40)
+		}
+		r.Close()
+		for i := range visits {
+			if got := visits[i].Load(); got != epochs {
+				t.Errorf("workers=%d: shard %d visited %d times over %d epochs", workers, i, got, epochs)
+			}
+		}
+	}
+}
+
+// TestEpochRunnerShardIsolation: per-shard state mutated inside ShardFunc is
+// identical regardless of worker count — the determinism contract the
+// simulator builds on. Each shard folds the epoch limits it saw into a
+// little hash; any cross-shard interference or missed epoch changes it.
+func TestEpochRunnerShardIsolation(t *testing.T) {
+	const shards = 11
+	run := func(workers int) [shards]uint64 {
+		var state [shards]uint64
+		r := NewEpochRunner(shards, workers, func(i int, limit Cycle) {
+			state[i] = state[i]*1099511628211 + uint64(limit) + uint64(i)
+		})
+		defer r.Close()
+		for e := 1; e <= 200; e++ {
+			r.RunEpoch(Cycle(e * 7))
+		}
+		return state
+	}
+	want := run(1)
+	for _, workers := range []int{2, 3, 8, runtime.GOMAXPROCS(0)} {
+		if got := run(workers); got != want {
+			t.Errorf("shard state diverged at %d workers", workers)
+		}
+	}
+}
+
+// TestEpochRunnerSerialPathNoGoroutines: worker counts below 2 must not
+// spawn goroutines or allocate per epoch.
+func TestEpochRunnerSerialPathNoAlloc(t *testing.T) {
+	n := 0
+	r := NewEpochRunner(4, 1, func(int, Cycle) { n++ })
+	defer r.Close()
+	allocs := testing.AllocsPerRun(100, func() { r.RunEpoch(1) })
+	if allocs != 0 {
+		t.Errorf("serial RunEpoch allocated %.1f times, want 0", allocs)
+	}
+	if n == 0 {
+		t.Fatal("shard fn never ran")
+	}
+}
+
+// TestEpochRunnerParallelPathNoAlloc: the pooled path reuses its channels;
+// steady-state epochs allocate nothing.
+func TestEpochRunnerParallelPathNoAlloc(t *testing.T) {
+	r := NewEpochRunner(8, 4, func(int, Cycle) {})
+	defer r.Close()
+	r.RunEpoch(1) // warm the pool
+	allocs := testing.AllocsPerRun(100, func() { r.RunEpoch(2) })
+	// Channel ops don't allocate; tolerate scheduler noise of a fraction of
+	// an alloc per run.
+	if allocs > 0.5 {
+		t.Errorf("pooled RunEpoch allocated %.2f times per epoch, want ~0", allocs)
+	}
+}
+
+// TestEpochRunnerWorkerCap: more workers than shards must still cover every
+// shard exactly once (the pool is capped at the shard count).
+func TestEpochRunnerWorkerCap(t *testing.T) {
+	var visits [3]atomic.Int64
+	r := NewEpochRunner(3, 16, func(i int, _ Cycle) { visits[i].Add(1) })
+	r.RunEpoch(10)
+	r.Close()
+	for i := range visits {
+		if got := visits[i].Load(); got != 1 {
+			t.Errorf("shard %d visited %d times, want 1", i, got)
+		}
+	}
+}
+
+// TestEpochRunnerCloseIdempotent: Close twice is safe, including on the
+// serial path.
+func TestEpochRunnerCloseIdempotent(t *testing.T) {
+	r := NewEpochRunner(2, 4, func(int, Cycle) {})
+	r.RunEpoch(1)
+	r.Close()
+	r.Close()
+	s := NewEpochRunner(2, 1, func(int, Cycle) {})
+	s.Close()
+	s.Close()
+}

@@ -44,6 +44,13 @@ type Options struct {
 	// StatsDump, when non-nil, collects every cell's full stats tree in
 	// deterministic (cell-order) sequence for export.
 	StatsDump *StatsDump
+	// CellParallel selects the intra-cell engine: 0 or 1 keeps the serial
+	// engine (byte-identical to the committed golden stats); n >= 2 runs
+	// each cell on the sharded epoch-barrier engine with up to n worker
+	// goroutines. Sharded results are bit-identical at every n >= 2 but
+	// differ slightly from the serial engine's (a different — equally
+	// deterministic — serialization of shared-resource requests).
+	CellParallel int
 }
 
 // StatsRow is one simulated cell's identity plus its full stats tree.
@@ -188,6 +195,7 @@ func (o Options) runCells(cells []simCell) ([]sim.Result, error) {
 				return sim.Result{}, fmt.Errorf("%s [%s]: %w", c.spec.Name, c.label, serr)
 			}
 			s.SetTracer(o.Tracer, i)
+			s.SetCellParallel(o.CellParallel)
 			return s.Run(), nil
 		})
 	if err != nil {

@@ -20,13 +20,19 @@ var goldenBenchmarks = []string{"bfs", "pagerank", "atax", "3dconv", "nw"}
 // goldenStatsJSON runs every golden benchmark under the baseline config at
 // the given parallelism and returns the serialized stats dump.
 func goldenStatsJSON(t *testing.T, parallelism int) []byte {
+	return goldenStatsJSONCell(t, parallelism, 1)
+}
+
+// goldenStatsJSONCell additionally selects the intra-cell engine.
+func goldenStatsJSONCell(t *testing.T, parallelism, cellParallel int) []byte {
 	t.Helper()
 	dump := &StatsDump{}
 	opt := Options{
-		Params:      workloads.Params{PageShift: 12, Seed: 1, Scale: 0.2},
-		Benchmarks:  goldenBenchmarks,
-		Parallelism: parallelism,
-		StatsDump:   dump,
+		Params:       workloads.Params{PageShift: 12, Seed: 1, Scale: 0.2},
+		Benchmarks:   goldenBenchmarks,
+		Parallelism:  parallelism,
+		CellParallel: cellParallel,
+		StatsDump:    dump,
 	}
 	specs, err := opt.specs()
 	if err != nil {
@@ -81,6 +87,17 @@ func TestGoldenStatsParallelismInvariant(t *testing.T) {
 	par := goldenStatsJSON(t, 8)
 	if !bytes.Equal(seq, par) {
 		t.Errorf("stats dump differs across parallelism (first difference at byte %d)", firstDiff(seq, par))
+	}
+}
+
+// TestGoldenStatsCellParallelSharded: the sharded intra-cell engine is its
+// own deterministic serialization — bit-identical across worker counts even
+// though it (legitimately) differs from the serial goldens.
+func TestGoldenStatsCellParallelSharded(t *testing.T) {
+	two := goldenStatsJSONCell(t, 1, 2)
+	eight := goldenStatsJSONCell(t, 4, 8)
+	if !bytes.Equal(two, eight) {
+		t.Errorf("sharded stats dump differs across cell-parallel worker counts (first difference at byte %d)", firstDiff(two, eight))
 	}
 }
 

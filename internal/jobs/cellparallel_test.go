@@ -1,0 +1,52 @@
+package jobs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRunCellParallelParity: a daemon cell run on the sharded engine must
+// produce one well-defined result — identical at every worker count — for
+// both single-kernel and multi-tenant cells, so checkpoint/resume stays
+// sound when a job is resumed on a machine with a different core count.
+func TestRunCellParallelParity(t *testing.T) {
+	cells := []CellSpec{
+		{Bench: "bfs", Config: "baseline", Scale: 0.1, Seed: 1},
+		{Tenants: []string{"bfs", "atax"}, Config: "multi-dynamic-spatial", Scale: 0.1, Seed: 1},
+	}
+	for _, cell := range cells {
+		base := cell
+		base.CellParallel = 2
+		want, err := RunCell(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{3, 8} {
+			c := cell
+			c.CellParallel = n
+			got, err := RunCell(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s [%s]: cell result differs between cell-parallel 2 and %d:\n  2: %+v\n  %d: %+v",
+					base.Bench, base.Config, n, want, n, got)
+			}
+		}
+	}
+}
+
+// TestNormalizeCellParallel: the grid-level CellParallel fans out to every
+// expanded cell and the grid field is cleared, keeping Normalize idempotent.
+func TestNormalizeCellParallel(t *testing.T) {
+	spec := JobSpec{Benchmarks: []string{"bfs"}, Configs: []string{"baseline"}, CellParallel: 4}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if spec.CellParallel != 0 {
+		t.Errorf("grid CellParallel not cleared: %d", spec.CellParallel)
+	}
+	if len(spec.Cells) != 1 || spec.Cells[0].CellParallel != 4 {
+		t.Errorf("cell did not inherit CellParallel: %+v", spec.Cells)
+	}
+}

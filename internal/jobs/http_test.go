@@ -130,11 +130,11 @@ func TestHTTPResultConflictAndNotFound(t *testing.T) {
 func TestHTTPSubmitRejectsBadSpecs(t *testing.T) {
 	_, c := newTestServer(t, Options{}, false)
 	for _, body := range []string{
-		`{`, // malformed JSON
-		`{"wat":1}`,                                             // unknown field
-		`{"benchmarks":["nope"],"configs":["baseline"]}`,        // unknown benchmark
-		`{"benchmarks":["atax"],"configs":["not-a-config"]}`,    // unknown config
-		`{"benchmarks":["atax"]}`,                               // no configs or cells
+		`{`,         // malformed JSON
+		`{"wat":1}`, // unknown field
+		`{"benchmarks":["nope"],"configs":["baseline"]}`,     // unknown benchmark
+		`{"benchmarks":["atax"],"configs":["not-a-config"]}`, // unknown config
+		`{"benchmarks":["atax"]}`,                            // no configs or cells
 	} {
 		resp, err := c.httpClient().Post(c.url("/jobs"), "application/json", strings.NewReader(body))
 		if err != nil {

@@ -67,6 +67,7 @@ func RunCell(c CellSpec) (CellResult, error) {
 	if err != nil {
 		return CellResult{}, fmt.Errorf("%s [%s]: %w", c.Bench, c.Config, err)
 	}
+	s.SetCellParallel(c.CellParallel)
 	r := s.Run()
 	return CellResult{
 		Bench:        c.Bench,
@@ -97,10 +98,11 @@ func runMultiCell(c CellSpec) (CellResult, error) {
 		p.PageShift = c.PageShift
 	}
 	r, err := multi.CoRun(c.Tenants, multi.Options{
-		Base:     &cfg,
-		Params:   p,
-		SMPolicy: assign,
-		TLBMode:  mode,
+		Base:         &cfg,
+		Params:       p,
+		SMPolicy:     assign,
+		TLBMode:      mode,
+		CellParallel: c.CellParallel,
 	})
 	if err != nil {
 		return CellResult{}, fmt.Errorf("%s [%s]: %w", c.Bench, c.Config, err)

@@ -34,6 +34,11 @@ type CellSpec struct {
 	// PageShift overrides the page size implied by Config (12 = 4KB,
 	// 21 = 2MB). 0 keeps the config's default.
 	PageShift uint `json:"page_shift,omitempty"`
+	// CellParallel selects the intra-cell engine: 0 or 1 runs the serial
+	// engine; n >= 2 the sharded epoch-barrier engine with up to n worker
+	// goroutines. Sharded cells are bit-identical at every n >= 2, so the
+	// value is not part of the cell's identity beyond serial-vs-sharded.
+	CellParallel int `json:"cell_parallel,omitempty"`
 }
 
 // JobSpec is a submitted experiment grid. Either list Cells explicitly or
@@ -49,6 +54,9 @@ type JobSpec struct {
 	// Scale and Seed apply to every expanded grid cell.
 	Scale float64 `json:"scale,omitempty"`
 	Seed  int64   `json:"seed,omitempty"`
+	// CellParallel applies to every expanded grid cell (CellSpec field of
+	// the same name).
+	CellParallel int `json:"cell_parallel,omitempty"`
 	// Cells, when non-empty, is the explicit cell list and the grid
 	// fields above are ignored.
 	Cells []CellSpec `json:"cells,omitempty"`
@@ -165,7 +173,7 @@ func (s *JobSpec) Normalize() error {
 		}
 		for _, b := range benches {
 			for _, c := range s.Configs {
-				s.Cells = append(s.Cells, CellSpec{Bench: b, Config: c, Scale: s.Scale, Seed: s.Seed})
+				s.Cells = append(s.Cells, CellSpec{Bench: b, Config: c, Scale: s.Scale, Seed: s.Seed, CellParallel: s.CellParallel})
 			}
 		}
 		s.Benchmarks, s.Configs = nil, nil
@@ -205,6 +213,6 @@ func (s *JobSpec) Normalize() error {
 			return fmt.Errorf("jobs: cell %d: unknown config %q (one of %v)", i, c.Config, ConfigNames())
 		}
 	}
-	s.Scale, s.Seed = 0, 0
+	s.Scale, s.Seed, s.CellParallel = 0, 0, 0
 	return nil
 }

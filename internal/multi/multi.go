@@ -77,6 +77,10 @@ type Options struct {
 	SMPolicy sched.SMAssignment
 	// TLBMode selects the shared L2 TLB's tenancy policy (default shared).
 	TLBMode TLBMode
+	// CellParallel selects the intra-cell engine: 0 or 1 keeps the serial
+	// engine; n >= 2 runs the sharded epoch-barrier engine with up to n
+	// worker goroutines (bit-identical across all n >= 2).
+	CellParallel int
 }
 
 // config resolves the base configuration.
@@ -123,7 +127,12 @@ func CoRun(benches []string, opt Options) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, err
 	}
-	return sim.RunMulti(opt.config(), tenants, sim.MultiOptions{L2TLBPolicy: opt.TLBMode.l2Policy()})
+	s, err := sim.NewMulti(opt.config(), tenants, sim.MultiOptions{L2TLBPolicy: opt.TLBMode.l2Policy()})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	s.SetCellParallel(opt.CellParallel)
+	return s.Run(), nil
 }
 
 // Solo simulates one benchmark alone on the whole GPU under the options'
@@ -133,7 +142,12 @@ func Solo(bench string, opt Options) (sim.Result, error) {
 	if !ok {
 		return sim.Result{}, fmt.Errorf("multi: unknown benchmark %q", bench)
 	}
-	return sim.Run(opt.config(), k, as)
+	s, err := sim.New(opt.config(), k, as)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	s.SetCellParallel(opt.CellParallel)
+	return s.Run(), nil
 }
 
 // WeightedSpeedup is the standard multi-programming throughput metric:

@@ -12,10 +12,33 @@ const windowBits = 6
 // uncontended (in-flight latencies are far shorter than the horizon).
 const horizon = 256
 
-// port is one direction of one endpoint: a ring of per-window slot counts.
+// port is one direction of one endpoint: a circular ring of per-window slot
+// counts. Window w lives at counts[w%horizon] while w is inside
+// [base, base+horizon); sliding the ring forward only zeroes the windows
+// that enter the horizon instead of copying the whole ring.
 type port struct {
 	counts [horizon]uint16
-	base   int64 // window index of counts[0]
+	base   int64 // lowest window index still tracked
+	full   int64 // every window in [base, full) is known to be at capacity
+}
+
+// slide advances the ring so that window w fits inside the horizon. It
+// reports false for a far-future outlier that should be granted without
+// accounting rather than dragging the ring (and every near-term request)
+// forward.
+func (p *port) slide(w int64) bool {
+	shift := w - (p.base + horizon) + 1
+	if shift >= horizon {
+		return false
+	}
+	for i := int64(0); i < shift; i++ {
+		p.counts[(p.base+i)&(horizon-1)] = 0
+	}
+	p.base += shift
+	if p.full < p.base {
+		p.full = p.base
+	}
+	return true
 }
 
 // reserve books one slot at or after cycle `at` and returns the granted
@@ -27,30 +50,29 @@ func (p *port) reserve(at engine.Cycle, capacity uint16) engine.Cycle {
 		// accounting (rare, bounded distortion).
 		return at
 	}
-	if w >= p.base+horizon {
-		shift := w - (p.base + horizon) + 1
-		if shift >= horizon {
-			// A far-future outlier: grant without accounting rather than
-			// dragging the ring (and every near-term request) forward.
-			return at
-		}
-		copy(p.counts[:], p.counts[shift:])
-		for i := horizon - int(shift); i < horizon; i++ {
-			p.counts[i] = 0
-		}
-		p.base += shift
+	if w >= p.base+horizon && !p.slide(w) {
+		return at
 	}
-	for {
-		idx := w - p.base
-		if idx >= horizon {
-			// Ran off the tracked horizon: grant without accounting.
-			break
-		}
-		if p.counts[idx] < capacity {
-			p.counts[idx]++
+	// Skip the known-full frontier, and keep extending it while the scan
+	// stays contiguous with it — this turns a congested port's repeated
+	// forward scans into amortized O(1).
+	contig := w <= p.full
+	if w < p.full {
+		w = p.full
+	}
+	for w-p.base < horizon {
+		if c := &p.counts[w&(horizon-1)]; *c < capacity {
+			*c++
+			if contig && *c >= capacity {
+				p.full = w + 1
+			}
 			break
 		}
 		w++
+		if contig {
+			p.full = w
+		}
+		// Running off the tracked horizon grants without accounting.
 	}
 	start := engine.Cycle(w << windowBits)
 	if at > start {
@@ -150,20 +172,19 @@ func (m *Meter) Reserve(at engine.Cycle, cost int) engine.Cycle {
 	if w < m.p.base {
 		return at
 	}
-	if w >= m.p.base+horizon {
-		shift := w - (m.p.base + horizon) + 1
-		if shift >= horizon {
-			return at
-		}
-		copy(m.p.counts[:], m.p.counts[shift:])
-		for i := horizon - int(shift); i < horizon; i++ {
-			m.p.counts[i] = 0
-		}
-		m.p.base += shift
+	if w >= m.p.base+horizon && !m.p.slide(w) {
+		return at
 	}
-	// Find the first window with slack.
-	for w-m.p.base < horizon && m.p.counts[w-m.p.base] >= budget {
+	// Find the first window with slack, skipping the known-full frontier.
+	contig := w <= m.p.full
+	if w < m.p.full {
+		w = m.p.full
+	}
+	for w-m.p.base < horizon && m.p.counts[w&(horizon-1)] >= budget {
 		w++
+		if contig {
+			m.p.full = w
+		}
 	}
 	start := engine.Cycle(w << windowBits)
 	if at > start {
@@ -171,7 +192,7 @@ func (m *Meter) Reserve(at engine.Cycle, cost int) engine.Cycle {
 	}
 	// Spread the cost over consecutive windows.
 	for c := cost; c > 0 && w-m.p.base < horizon; {
-		idx := w - m.p.base
+		idx := w & (horizon - 1)
 		free := budget - int(m.p.counts[idx])
 		if free > c {
 			free = c

@@ -18,8 +18,8 @@ import (
 func allocFixture(t *testing.T) (*Simulator, *smState) {
 	t.Helper()
 	s, sm := pickFixture(t)
-	s.pickBuf = make([]vm.VPN, 0, arch.WarpSize)
-	s.orderBuf = make([]int, 0, arch.WarpSize)
+	sm.pickBuf = make([]vm.VPN, 0, arch.WarpSize)
+	sm.orderBuf = make([]int, 0, arch.WarpSize)
 	return s, sm
 }
 
@@ -66,6 +66,53 @@ func TestInflightTableZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("inflightTable put/get allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestSchedulePriZeroAllocSteadyState(t *testing.T) {
+	var q engine.Queue
+	for i := 0; i < 64; i++ {
+		q.Schedule(engine.Cycle(i), func() {})
+	}
+	for q.Len() > 0 {
+		q.Pop()
+	}
+	fn := func() {}
+	at := engine.Cycle(1000)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			q.SchedulePri(at+engine.Cycle(i), shardPri(at, schedClsPhase, uint64(i)), fn)
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+		at += 100
+	})
+	if allocs != 0 {
+		t.Errorf("Queue SchedulePri/Pop allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestPendingInstPoolZeroAlloc(t *testing.T) {
+	sh := &shardCtx{}
+	// Warm the pool to steady state: every later get is a reuse.
+	warm := make([]*pendingInst, 8)
+	for i := range warm {
+		warm[i] = sh.getPI()
+	}
+	for _, pi := range warm {
+		sh.putPI(pi)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 8; i++ {
+			pi := sh.getPI()
+			pi.pages = append(pi.pages, pendPage{vpn: vm.VPN(i)})
+			pi.lines = append(pi.lines, pendLine{start: engine.Cycle(i)})
+			sh.putPI(pi)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("pendingInst pool allocated %.1f times per run, want 0", allocs)
 	}
 }
 

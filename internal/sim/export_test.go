@@ -1,0 +1,17 @@
+package sim
+
+import "gputlb/internal/engine"
+
+// RunShardedWorkers runs the sharded engine with an explicit worker count,
+// letting tests pin worker counts (including 1, which SetCellParallel
+// reserves for the serial engine) independently of the public flag.
+func (s *Simulator) RunShardedWorkers(workers int) Result {
+	return s.runSharded(workers)
+}
+
+// SetApplyObserver installs a test observer of the barrier's canonical op
+// order; it is called once per applied shared op with the op's (request
+// cycle, shard index, per-shard sequence).
+func (s *Simulator) SetApplyObserver(fn func(t engine.Cycle, shard int, seq int64)) {
+	s.onApply = fn
+}

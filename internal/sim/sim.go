@@ -125,6 +125,11 @@ type warpState struct {
 	// reuse is safe.
 	wake   func()
 	retire func()
+	// resume re-enters a deferred memory instruction's data-line loop once
+	// the barrier has resolved its translations (sharded engine only); pi is
+	// the warp's single in-flight deferred instruction.
+	resume func()
+	pi     *pendingInst
 }
 
 type slotState struct {
@@ -150,9 +155,27 @@ type smState struct {
 	// occupies one until the translation returns, so miss floods back up
 	// into the SM instead of being hidden by warp parallelism.
 	missHandlers []engine.Cycle
+	// Hot-path scratch, owned by the SM so the sharded engine's phase-1
+	// workers never share a buffer: one coalesced memory instruction
+	// produces at most WarpSize pages/lines, so these are sized once and
+	// reused for every instruction the SM issues.
+	pageBuf  []vm.VPN
+	lineBuf  []vm.Addr
+	transBuf []pageDone
+	pickBuf  []vm.VPN // trans-aware warp scheduler's residency probes
+	orderBuf []int
 	// Decaying <hits,total> counters backing the scheduler's hardware table.
 	schedHits, schedTotal int64
 	tbsRun                int
+	// shard is the SM's private execution context on the sharded engine
+	// (nil on the serial engine); pendBuf is its per-instruction page
+	// scratch, alongside the buffers above. pendingMiss tracks pages this SM
+	// deferred to the next barrier (keyed like the inflight table), so a
+	// re-miss whose placeholder was evicted within the epoch still merges
+	// instead of double-walking.
+	shard       *shardCtx
+	pendBuf     []pendPage
+	pendingMiss map[vm.VPN]struct{}
 }
 
 // Simulator runs one or more kernels to completion under one configuration.
@@ -200,17 +223,21 @@ type Simulator struct {
 	dispatchFn      func() // prebuilt periodic-dispatch callback
 	sampleFn        func() // prebuilt sampling callback
 
-	// Hot-path scratch: one coalesced memory instruction produces at most
-	// WarpSize pages/lines, so these buffers are sized once and reused for
-	// every instruction instead of being reallocated per issue. (The TB
-	// scheduler's status vector lives per tenant in tenantState.statusBuf.)
-	pageBuf  []vm.VPN
-	lineBuf  []vm.Addr
-	transBuf []pageDone
-	pickBuf  []vm.VPN // trans-aware warp scheduler's residency probes
-	orderBuf []int
-
 	pwc *tlb.TLB
+
+	// Sharded-engine state (SetCellParallel >= 2): sharded selects the
+	// engine inside shared helpers, shards holds the per-SM contexts,
+	// applyCursors is the barrier's reused merge scratch, profile the
+	// phase breakdown, and onApply an optional test observer of the
+	// canonical barrier order.
+	cellParallel  int
+	epochOverride engine.Cycle
+	sharded       bool
+	shards        []*shardCtx
+	applyCursors  []int
+	applyHeap     []mergeEntry
+	profile       ShardProfile
+	onApply       func(t engine.Cycle, shard int, seq int64)
 
 	// stats is the run's metric tree; every component registers into it at
 	// New time and the sim-owned counters below live in its "sim" root.
@@ -261,10 +288,6 @@ func NewMulti(cfg arch.Config, tenants []Tenant, mopt MultiOptions) (*Simulator,
 		l2Inflight:  newInflightTable(cfg.NumSMs * cfg.TranslationMSHRs),
 		lineShift:   uintLog2(cfg.L1Cache.LineBytes),
 		pageShift:   cfg.PageShift(),
-		pageBuf:     make([]vm.VPN, 0, arch.WarpSize),
-		lineBuf:     make([]vm.Addr, 0, arch.WarpSize),
-		transBuf:    make([]pageDone, arch.WarpSize),
-		pickBuf:     make([]vm.VPN, 0, arch.WarpSize),
 	}
 	slots := 0
 	for i, t := range tenants {
@@ -342,6 +365,19 @@ func NewMulti(cfg arch.Config, tenants []Tenant, mopt MultiOptions) (*Simulator,
 		// do not age out of the L2 while they are hot in an L1. The victim's
 		// ASID rides along so the write-back lands in its tenant's partition.
 		opt.OnEvict = func(asid vm.ASID, vpn vm.VPN, ppn vm.PPN) {
+			if s.sharded {
+				// Phase-1 eviction (placeholder inserts are the only L1
+				// insertions the sharded engine performs, and fills are
+				// payload-only updates): buffer the write-back as a shared
+				// op for the barrier instead of touching the L2 TLB here.
+				sh := s.sms[smID].shard
+				sh.ops = append(sh.ops, sharedOp{
+					t: sh.clock, seq: sh.seq, kind: opEvict,
+					asid: asid, vpn: vpn, ppn: ppn,
+				})
+				sh.seq++
+				return
+			}
 			if !s.l2tlb.ContainsA(asid, int(asid), vpn) {
 				s.l2tlb.InsertA(asid, int(asid), vpn, ppn)
 			}
@@ -357,6 +393,12 @@ func NewMulti(cfg arch.Config, tenants []Tenant, mopt MultiOptions) (*Simulator,
 			slots:        make([]slotState, slots),
 			inflight:     newInflightTable(cfg.TranslationMSHRs),
 			missHandlers: make([]engine.Cycle, cfg.TranslationMSHRs),
+			pageBuf:      make([]vm.VPN, 0, arch.WarpSize),
+			lineBuf:      make([]vm.Addr, 0, arch.WarpSize),
+			transBuf:     make([]pageDone, arch.WarpSize),
+			pickBuf:      make([]vm.VPN, 0, arch.WarpSize),
+			pendBuf:      make([]pendPage, 0, arch.WarpSize),
+			pendingMiss:  make(map[vm.VPN]struct{}, 16),
 		}
 		sm.tickFn = func() { s.tick(sm) }
 		sm.l1tlb.ConfigureSlots(slots)
@@ -444,7 +486,13 @@ func uintLog2(v int) uint {
 }
 
 // Run simulates every tenant's kernel to completion and returns the results.
+// With SetCellParallel(n >= 2) the sharded epoch-barrier engine runs the
+// SMs on up to n workers; otherwise the serial engine runs them on one
+// queue exactly as before.
 func (s *Simulator) Run() Result {
+	if s.cellParallel >= 2 {
+		return s.runSharded(s.cellParallel)
+	}
 	s.dispatch()
 	if s.cfg.SampleInterval > 0 {
 		s.queue.Schedule(engine.Cycle(s.cfg.SampleInterval), s.sampleFn)
@@ -480,7 +528,14 @@ func (s *Simulator) sample() {
 		Walks:     s.walks.Value() - s.lastSampleWalks,
 	})
 	s.lastSampleHits, s.lastSampleAcc, s.lastSampleWalks = hits, acc, s.walks.Value()
-	if s.queue.Len() > 0 { // only while other work remains
+	pending := s.queue.Len() > 0
+	for _, sh := range s.shards {
+		if pending {
+			break
+		}
+		pending = sh.queue.Len() > 0
+	}
+	if pending { // only while other work remains
 		s.queue.Schedule(s.clock+engine.Cycle(s.cfg.SampleInterval), s.sampleFn)
 	}
 }
@@ -596,11 +651,20 @@ func (s *Simulator) place(tn *tenantState, sm *smState, tbIndex int) {
 	sm.tbsRun++
 	for w := range tb.Warps {
 		ws := &warpState{sm: sm, slot: slot, tn: tn, asid: tn.asid, seq: s.warpSeq, insts: tb.Warps[w].Insts}
-		ws.wake = func() {
-			ws.sm.ready = append(ws.sm.ready, ws)
-			s.armTick(ws.sm, s.clock)
+		if s.sharded {
+			ws.wake = func() {
+				ws.sm.ready = append(ws.sm.ready, ws)
+				s.shardArmTick(ws.sm, ws.sm.shard.clock)
+			}
+			ws.retire = func() { s.shardRetireWarp(ws) }
+			ws.resume = func() { s.shardResume(ws) }
+		} else {
+			ws.wake = func() {
+				ws.sm.ready = append(ws.sm.ready, ws)
+				s.armTick(ws.sm, s.clock)
+			}
+			ws.retire = func() { s.retireWarp(ws) }
 		}
-		ws.retire = func() { s.retireWarp(ws) }
 		s.warpSeq++
 		if len(ws.insts) == 0 {
 			s.retireWarp(ws)
@@ -612,6 +676,9 @@ func (s *Simulator) place(tn *tenantState, sm *smState, tbIndex int) {
 }
 
 // armTick schedules an issue tick for sm at cycle at (if none pending).
+// Called with the global clock current: serial-engine events, or the
+// sharded engine's barrier (dispatch placing new TBs), where the tick
+// lands on the SM's own queue.
 func (s *Simulator) armTick(sm *smState, at engine.Cycle) {
 	if sm.tickPending {
 		return
@@ -623,6 +690,10 @@ func (s *Simulator) armTick(sm *smState, at engine.Cycle) {
 		at = s.clock + 1
 	}
 	sm.tickPending = true
+	if s.sharded {
+		sm.shard.queue.SchedulePri(at, shardPri(s.clock, schedClsGlobal, 0), sm.tickFn)
+		return
+	}
 	s.queue.Schedule(at, sm.tickFn)
 }
 
@@ -704,7 +775,7 @@ func (s *Simulator) pickLRR(sm *smState) int {
 func (s *Simulator) pickTransAware(sm *smState) int {
 	const maxProbe = 8
 	gto := s.pickGTO(sm)
-	order := s.orderBuf[:0]
+	order := sm.orderBuf[:0]
 	if sm.last != nil {
 		for i, ws := range sm.ready {
 			if ws == sm.last {
@@ -719,7 +790,7 @@ func (s *Simulator) pickTransAware(sm *smState) int {
 		}
 		order = append(order, i)
 	}
-	s.orderBuf = order // keep any growth so later picks stay allocation-free
+	sm.orderBuf = order // keep any growth so later picks stay allocation-free
 	probed := 0
 	bestIdx, bestSeq := -1, int64(-1)
 	for _, i := range order {
@@ -731,8 +802,8 @@ func (s *Simulator) pickTransAware(sm *smState) int {
 		resident := true
 		if in.IsMem() {
 			probed++
-			s.pickBuf = trace.CoalescePagesInto(s.pickBuf, in.Addrs, s.pageShift)
-			for _, vpn := range s.pickBuf {
+			sm.pickBuf = trace.CoalescePagesInto(sm.pickBuf, in.Addrs, s.pageShift)
+			for _, vpn := range sm.pickBuf {
 				if !sm.l1tlb.ContainsA(ws.asid, ws.slot, vpn) {
 					resident = false
 					break
@@ -843,12 +914,12 @@ func (s *Simulator) scheduleDispatch() {
 // translation completes. The warp blocks until the slowest request.
 func (s *Simulator) executeMem(ws *warpState, in trace.Inst) engine.Cycle {
 	sm, slot, tn := ws.sm, ws.slot, ws.tn
-	pages := trace.CoalescePagesInto(s.pageBuf, in.Addrs, s.pageShift)
-	s.pageBuf = pages
+	pages := trace.CoalescePagesInto(sm.pageBuf, in.Addrs, s.pageShift)
+	sm.pageBuf = pages
 	s.pageRequests.Add(int64(len(pages)))
 	tn.pageReqs += int64(len(pages))
 
-	trans := s.transBuf[:len(pages)]
+	trans := sm.transBuf[:len(pages)]
 	instDone := s.clock + 1
 	for i, vpn := range pages {
 		ppn, done, hit := s.translate(tn, sm, slot, vpn)
@@ -859,8 +930,8 @@ func (s *Simulator) executeMem(ws *warpState, in trace.Inst) engine.Cycle {
 		}
 	}
 
-	lines := trace.CoalesceLinesInto(s.lineBuf, in.Addrs, s.cfg.L1Cache.LineBytes)
-	s.lineBuf = lines
+	lines := trace.CoalesceLinesInto(sm.lineBuf, in.Addrs, s.cfg.L1Cache.LineBytes)
+	sm.lineBuf = lines
 	s.lineRequests.Add(int64(len(lines)))
 	linesPerPage := s.pageShift - s.lineShift
 	for _, line := range lines {
@@ -898,12 +969,20 @@ func (s *Simulator) recordTranslationLatency(lat engine.Cycle) {
 }
 
 // dataAccess models the data path for one line from cycle start: L1 cache,
-// then the crossbar to the line's memory partition, the L2 cache slice, and
-// on an L2 miss the partition's DRAM banks, then the reply traversal.
+// then on a miss the shared tail (crossbar, L2 slice, DRAM).
 func (s *Simulator) dataAccess(sm *smState, phys cache.LineAddr, start engine.Cycle) engine.Cycle {
 	if sm.l1cache.Access(phys) {
 		return start + engine.Cycle(s.cfg.L1Cache.HitLatency)
 	}
+	return s.dataMiss(sm, phys, start)
+}
+
+// dataMiss is the shared-resource tail of a data access that missed the L1
+// cache: the crossbar to the line's memory partition, the L2 cache slice,
+// on an L2 miss the partition's DRAM banks, then the reply traversal. The
+// sharded engine applies it at epoch barriers; the serial engine calls it
+// inline from dataAccess.
+func (s *Simulator) dataMiss(sm *smState, phys cache.LineAddr, start engine.Cycle) engine.Cycle {
 	t := start + engine.Cycle(s.cfg.L1Cache.HitLatency)
 	part := s.mem.Partition(phys)
 	arrive := s.xbar.Traverse(sm.id, part, t)
@@ -923,7 +1002,6 @@ func (s *Simulator) dataAccess(sm *smState, phys cache.LineAddr, start engine.Cy
 // The per-tenant stall counters classify the request by where it resolved.
 func (s *Simulator) translate(tn *tenantState, sm *smState, slot int, vpn vm.VPN) (vm.PPN, engine.Cycle, bool) {
 	asid := tn.asid
-	key := tenantKey(asid, vpn)
 	ppn, hit, probed := sm.l1tlb.LookupA(asid, slot, vpn)
 	cost := probed * s.cfg.L1TLB.LookupLatency
 	if s.cfg.TLBCompression {
@@ -947,15 +1025,56 @@ func (s *Simulator) translate(tn *tenantState, sm *smState, slot int, vpn vm.VPN
 		s.tracer.Instant(s.tracePID, sm.id, "l1tlb_miss", "tlb",
 			int64(s.clock), map[string]int64{"vpn": int64(vpn)})
 	}
+	ppn, done := s.translateMiss(tn, sm, slot, vpn, t1)
+	return ppn, done, false
+}
+
+// pendingBase is the sentinel PPN the sharded engine installs in an L1 TLB
+// entry at miss time; the barrier later rewrites it with the real
+// translation. Detection is a range check (pendingThreshold) rather than
+// equality because compressed entries return base+offset PPNs, shifting the
+// sentinel by up to the compression span in either direction. Real PPNs are
+// allocated densely from zero and can never reach the threshold.
+const (
+	pendingBase      vm.PPN = 1 << 48
+	pendingThreshold vm.PPN = 1 << 47
+)
+
+// fillL1 installs a resolved translation into an SM's L1 TLB. The serial
+// engine inserts directly (fill time sets the entry's replacement age); the
+// sharded engine instead rewrites the placeholder installed at miss time —
+// payload only, so the entry ages from the miss — and retires the page from
+// the SM's pending-miss set. A placeholder evicted within the epoch makes
+// the update a no-op: the fill is dropped, exactly as if the entry had been
+// evicted right after filling.
+func (s *Simulator) fillL1(sm *smState, slot int, asid vm.ASID, vpn vm.VPN, ppn vm.PPN) {
+	if !s.sharded {
+		sm.l1tlb.InsertA(asid, slot, vpn, ppn)
+		return
+	}
+	sm.l1tlb.UpdateA(asid, slot, vpn, ppn)
+	delete(sm.pendingMiss, tenantKey(asid, vpn))
+}
+
+// translateMiss is the shared-resource tail of a translation that missed
+// the SM's L1 TLB: MSHR merge/occupancy, the crossbar to the L2 TLB bank,
+// the walker pool, and the reply. t1 is the cycle the L1 lookup resolved.
+// The request's issue cycle is s.clock — the serial engine calls this
+// inline from translate; the sharded engine applies it at an epoch barrier
+// with s.clock rolled back to the buffered request's cycle, so both paths
+// run the identical model.
+func (s *Simulator) translateMiss(tn *tenantState, sm *smState, slot int, vpn vm.VPN, t1 engine.Cycle) (vm.PPN, engine.Cycle) {
+	asid := tn.asid
+	key := tenantKey(asid, vpn)
 
 	// Merge with an in-flight miss to the same page from this SM (MSHR).
 	if inf, ok := sm.inflight.get(key); ok && inf.done > s.clock {
 		if t1 > inf.done {
 			tn.stallWalk += int64(t1 - s.clock)
-			return inf.ppn, t1, false
+			return inf.ppn, t1
 		}
 		tn.stallWalk += int64(inf.done - s.clock)
-		return inf.ppn, inf.done, false
+		return inf.ppn, inf.done
 	}
 
 	// A new miss needs a free translation MSHR; when all are occupied the
@@ -981,13 +1100,13 @@ func (s *Simulator) translate(tn *tenantState, sm *smState, slot int, vpn vm.VPN
 	t3 := start + engine.Cycle(l2cost)
 	if hit2 {
 		done := s.xbar.Return(tlbPart, sm.id, t3)
-		sm.l1tlb.InsertA(asid, slot, vpn, ppn2)
+		s.fillL1(sm, slot, asid, vpn, ppn2)
 		s.traceFill(sm.id, vpn, done, "l2tlb")
 		sm.inflight.put(key, ppn2, done, s.clock)
 		sm.missHandlers[h] = done
 		tn.l2Hits++
 		tn.stallL2 += int64(done - s.clock)
-		return ppn2, done, false
+		return ppn2, done
 	}
 
 	// Merge with a walk in flight from another SM of the same tenant.
@@ -997,11 +1116,11 @@ func (s *Simulator) translate(tn *tenantState, sm *smState, slot int, vpn vm.VPN
 			wait = t3
 		}
 		done := s.xbar.Return(tlbPart, sm.id, wait)
-		sm.l1tlb.InsertA(asid, slot, vpn, inf.ppn)
+		s.fillL1(sm, slot, asid, vpn, inf.ppn)
 		sm.inflight.put(key, inf.ppn, done, s.clock)
 		sm.missHandlers[h] = done
 		tn.stallWalk += int64(done - s.clock)
-		return inf.ppn, done, false
+		return inf.ppn, done
 	}
 
 	// Page-table walk (first touch demand-pages under UVM). A page-walk
@@ -1038,7 +1157,7 @@ func (s *Simulator) translate(tn *tenantState, sm *smState, slot int, vpn vm.VPN
 	s.traceWalk(sm.id, vpn, wstart, wdone, faulted)
 
 	s.l2tlb.InsertA(asid, int(asid), vpn, wppn)
-	sm.l1tlb.InsertA(asid, slot, vpn, wppn)
+	s.fillL1(sm, slot, asid, vpn, wppn)
 	s.traceFill(sm.id, vpn, wdone, "walk")
 	s.l2Inflight.put(key, wppn, wdone, s.clock)
 	done := s.xbar.Return(tlbPart, sm.id, wdone)
@@ -1049,7 +1168,7 @@ func (s *Simulator) translate(tn *tenantState, sm *smState, slot int, vpn vm.VPN
 	} else {
 		tn.stallWalk += int64(done - s.clock)
 	}
-	return wppn, done, false
+	return wppn, done
 }
 
 // traceFill emits an instant event for a translation filling into an SM's L1

@@ -1,0 +1,18 @@
+// Package simtest is a reusable determinism harness for the simulator's
+// execution engines.
+//
+// The sharded epoch-barrier engine's central promise is that its results
+// are a pure function of the simulated configuration: the worker count, the
+// epoch length, and GOMAXPROCS only decide how the work is scheduled onto
+// the host, never what the simulation computes. simtest turns that promise
+// into a mechanical check. A Build function constructs a fresh simulator
+// for one trial; the harness runs it across a matrix of cell-parallelism
+// values or epoch lengths and diffs the full stats-registry snapshots — and
+// optionally the complete trace event streams — byte for byte.
+//
+// The harness is deliberately engine-agnostic: any code that can hand back
+// a *sim.Simulator (solo kernels, multi-tenant co-runs, custom configs) can
+// be matrixed. Package-level tests cover the stock configurations: the solo
+// scheduler/sampling variants, and every multi-tenant L2 TLB mode crossed
+// with every SM assignment policy.
+package simtest

@@ -1,0 +1,117 @@
+package simtest
+
+import (
+	"fmt"
+	"testing"
+
+	"gputlb/internal/arch"
+	"gputlb/internal/multi"
+	"gputlb/internal/sched"
+	"gputlb/internal/sim"
+	"gputlb/internal/workloads"
+)
+
+// testParams keeps the matrix workloads small enough to run the full cross
+// product in seconds while still exercising every engine path (TLB misses,
+// walks, faults, dispatch waves).
+func testParams() workloads.Params {
+	return workloads.Params{PageShift: 12, Seed: 1, Scale: 0.1}
+}
+
+// soloBuild returns a Build for one benchmark under a config mutation.
+func soloBuild(t *testing.T, bench string, mut func(*arch.Config)) Build {
+	t.Helper()
+	return func() (*sim.Simulator, error) {
+		k, as, ok := workloads.CachedByName(bench, testParams())
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", bench)
+		}
+		cfg := arch.Default()
+		mut(&cfg)
+		return sim.New(cfg, k, as)
+	}
+}
+
+// soloVariants are the solo configurations of the determinism matrix: the
+// baseline plus each scheduler/sampling feature that changes the engine's
+// event mix.
+var soloVariants = []struct {
+	name string
+	mut  func(*arch.Config)
+}{
+	{"default", func(*arch.Config) {}},
+	{"tlbAwareSched", func(c *arch.Config) { c.TBScheduler = arch.ScheduleTLBAware }},
+	{"transAwareWarps", func(c *arch.Config) { c.WarpScheduler = arch.WarpTransAware }},
+	{"sampling", func(c *arch.Config) { c.SampleInterval = 1000 }},
+}
+
+// TestSoloWorkerMatrix: every solo variant's stats snapshot and full trace
+// stream are byte-identical across the worker-count matrix.
+func TestSoloWorkerMatrix(t *testing.T) {
+	for _, v := range soloVariants {
+		t.Run(v.name, func(t *testing.T) {
+			CheckWorkerInvariance(t, soloBuild(t, "bfs", v.mut), nil, true)
+		})
+	}
+}
+
+// TestSoloSerialDeterminism: the serial engine stays deterministic with the
+// sharded machinery compiled in (its byte-identity to the committed golden
+// stats is pinned separately by the experiments golden test).
+func TestSoloSerialDeterminism(t *testing.T) {
+	CheckSerialUnchanged(t, soloBuild(t, "bfs", func(*arch.Config) {}))
+}
+
+// TestSoloEpochMatrix: epoch length is invisible in the results, from
+// degenerate one-cycle epochs up to the lookahead cap.
+func TestSoloEpochMatrix(t *testing.T) {
+	CheckEpochInvariance(t, soloBuild(t, "bfs", func(*arch.Config) {}), 3, nil)
+}
+
+// multiBuild returns a Build for a two-tenant co-run under the given L2 TLB
+// mode and SM assignment policy.
+func multiBuild(t *testing.T, mode multi.TLBMode, assign sched.SMAssignment) Build {
+	t.Helper()
+	return func() (*sim.Simulator, error) {
+		opt := multi.Options{Params: testParams(), SMPolicy: assign, TLBMode: mode}
+		tenants, err := multi.Tenants([]string{"bfs", "atax"}, opt)
+		if err != nil {
+			return nil, err
+		}
+		var policy arch.TLBIndexPolicy
+		switch mode {
+		case multi.TLBStaticMode:
+			policy = arch.IndexByTB
+		case multi.TLBDynamicMode:
+			policy = arch.IndexByTBShared
+		default:
+			policy = arch.IndexByAddress
+		}
+		return sim.NewMulti(arch.Default(), tenants, sim.MultiOptions{L2TLBPolicy: policy})
+	}
+}
+
+// TestMultiTenantMatrix crosses every L2 TLB tenancy mode with every SM
+// assignment policy and checks worker-count invariance (with trace-stream
+// diffs) for each cell.
+func TestMultiTenantMatrix(t *testing.T) {
+	modes := []multi.TLBMode{multi.TLBSharedMode, multi.TLBStaticMode, multi.TLBDynamicMode}
+	assigns := []sched.SMAssignment{sched.AssignSpatial, sched.AssignInterleaved, sched.AssignShared}
+	for _, mode := range modes {
+		for _, assign := range assigns {
+			t.Run(fmt.Sprintf("%s_%s", mode, assign), func(t *testing.T) {
+				CheckWorkerInvariance(t, multiBuild(t, mode, assign), []int{2, 8}, true)
+			})
+		}
+	}
+}
+
+// TestMultiTenantEpochMatrix: one multi-tenant cell per TLB mode across the
+// epoch-length matrix.
+func TestMultiTenantEpochMatrix(t *testing.T) {
+	for _, mode := range []multi.TLBMode{multi.TLBSharedMode, multi.TLBDynamicMode} {
+		t.Run(mode.String(), func(t *testing.T) {
+			CheckEpochInvariance(t, multiBuild(t, mode, sched.AssignSpatial), 4, nil)
+		})
+	}
+}

@@ -1,0 +1,128 @@
+package simtest
+
+import (
+	"testing"
+
+	"gputlb/internal/arch"
+	"gputlb/internal/engine"
+	"gputlb/internal/sim"
+)
+
+// runResult is a matrix-cell convenience returning just the Result.
+func runResult(t *testing.T, b Build, cellParallel int, epoch engine.Cycle) sim.Result {
+	t.Helper()
+	r, _, _, err := Run(b, cellParallel, epoch, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// histQuantile returns the upper bound of the power-of-two bucket holding
+// the q-quantile of the translation-latency histogram.
+func histQuantile(h [16]int64, q float64) int64 {
+	var total int64
+	for _, n := range h {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	var seen int64
+	for i, n := range h {
+		seen += n
+		if seen > target {
+			return 1 << uint(i+1)
+		}
+	}
+	return 1 << 16
+}
+
+// TestModelInvariantsAcrossEngines: quantities fixed by the workload — not
+// by request ordering — agree between the serial engine and the sharded
+// engine at every worker count and epoch length. Retired instructions,
+// coalesced page/line requests, first-touch faults, and TB placement totals
+// are all metamorphic invariants of the engine split.
+func TestModelInvariantsAcrossEngines(t *testing.T) {
+	b := soloBuild(t, "bfs", func(*arch.Config) {})
+	serial := runResult(t, b, 1, 0)
+
+	cells := []struct {
+		workers int
+		epoch   engine.Cycle
+	}{{2, 0}, {3, 0}, {8, 0}, {2, 1}, {4, 7}, {8, 40}}
+	for _, c := range cells {
+		r := runResult(t, b, c.workers, c.epoch)
+		if r.InstsIssued != serial.InstsIssued {
+			t.Errorf("workers=%d epoch=%d: InstsIssued %d != serial %d", c.workers, c.epoch, r.InstsIssued, serial.InstsIssued)
+		}
+		if r.PageRequests != serial.PageRequests {
+			t.Errorf("workers=%d epoch=%d: PageRequests %d != serial %d", c.workers, c.epoch, r.PageRequests, serial.PageRequests)
+		}
+		if r.LineRequests != serial.LineRequests {
+			t.Errorf("workers=%d epoch=%d: LineRequests %d != serial %d", c.workers, c.epoch, r.LineRequests, serial.LineRequests)
+		}
+		if r.Faults != serial.Faults {
+			t.Errorf("workers=%d epoch=%d: Faults %d != serial %d", c.workers, c.epoch, r.Faults, serial.Faults)
+		}
+		var tbs, serialTBs int
+		for _, n := range r.TBsPerSM {
+			tbs += n
+		}
+		for _, n := range serial.TBsPerSM {
+			serialTBs += n
+		}
+		if tbs != serialTBs {
+			t.Errorf("workers=%d epoch=%d: TBs %d != serial %d", c.workers, c.epoch, tbs, serialTBs)
+		}
+	}
+}
+
+// TestCounterSumsBalance: within any single run, per-component counters
+// must balance — every page request is an L1 TLB access, every translation
+// lands in exactly one histogram bucket, and L1 TLB misses bound walks from
+// above.
+func TestCounterSumsBalance(t *testing.T) {
+	b := soloBuild(t, "bfs", func(*arch.Config) {})
+	for _, workers := range []int{1, 2, 8} {
+		r := runResult(t, b, workers, 0)
+		if got := r.L1TLBAccesses(); got != r.PageRequests {
+			t.Errorf("workers=%d: L1 TLB accesses %d != page requests %d", workers, got, r.PageRequests)
+		}
+		var hist int64
+		for _, n := range r.TranslationLatency {
+			hist += n
+		}
+		if hist != r.PageRequests {
+			t.Errorf("workers=%d: histogram count %d != page requests %d", workers, hist, r.PageRequests)
+		}
+		misses := r.PageRequests - r.L1TLBHits()
+		if r.Walks > misses {
+			t.Errorf("workers=%d: walks %d exceed L1 TLB misses %d", workers, r.Walks, misses)
+		}
+		if r.Walks < r.Faults {
+			t.Errorf("workers=%d: walks %d below faults %d", workers, r.Walks, r.Faults)
+		}
+	}
+}
+
+// TestHistogramQuantilesInvariant: the translation-latency distribution's
+// quantiles are identical at every worker count and epoch length — a
+// coarser, more interpretable restatement of byte-identity that would
+// survive a registry format change.
+func TestHistogramQuantilesInvariant(t *testing.T) {
+	b := soloBuild(t, "bfs", func(*arch.Config) {})
+	want := runResult(t, b, 2, 0)
+	for _, c := range []struct {
+		workers int
+		epoch   engine.Cycle
+	}{{3, 0}, {8, 0}, {2, 5}, {8, 17}} {
+		r := runResult(t, b, c.workers, c.epoch)
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			if got, w := histQuantile(r.TranslationLatency, q), histQuantile(want.TranslationLatency, q); got != w {
+				t.Errorf("workers=%d epoch=%d: p%.0f = %d, want %d", c.workers, c.epoch, q*100, got, w)
+			}
+		}
+	}
+}

@@ -286,6 +286,36 @@ func (t *TLB) ContainsA(asid vm.ASID, slot int, vpn vm.VPN) bool {
 	return false
 }
 
+// UpdateA rewrites the payload of an existing entry for (asid, slot, vpn)
+// without touching the LRU stamp, the probe clock, or any counter,
+// reporting whether the entry was found. The sharded engine uses it to
+// resolve a placeholder entry installed at miss time into the real PPN at
+// the epoch barrier: the entry's replacement age must reflect the miss (the
+// insertion), not the fill, so the two engines age entries identically.
+func (t *TLB) UpdateA(asid vm.ASID, slot int, vpn vm.VPN, ppn vm.PPN) bool {
+	tag, bit := t.probeKey(vpn)
+	for _, si := range t.setsToProbe(slot, vpn) {
+		for w := range t.sets[si] {
+			e := &t.sets[si][w]
+			if !e.valid || e.vpn != tag || e.asid != asid {
+				continue
+			}
+			if t.opt.Compression {
+				if e.mask&bit == 0 {
+					continue
+				}
+				// Store the group-base PPN the run would have so a lookup
+				// of vpn returns exactly ppn.
+				e.ppn = ppn - vm.PPN(vpn-tag)
+			} else {
+				e.ppn = ppn
+			}
+			return true
+		}
+	}
+	return false
+}
+
 // Insert installs vpn→ppn for the TB in slot after a miss has been resolved,
 // under ASID 0 (the single-tenant path). Under compression it first tries to
 // coalesce into an entry covering the same aligned group with a consistent
