@@ -14,6 +14,8 @@
 #   make multi-smoke run a small multi-tenant co-run grid end to end — the
 #                   quick check that ASID plumbing, tenant partitioning and
 #                   the interference reporting still hold together
+#   make controller-smoke run the tenant-churn grid (controller included)
+#                   end to end on the sharded engine under the race detector
 #   make fuzz       a short decoder fuzz run
 #   make golden     refresh the golden stats snapshot after an intentional
 #                   timing-model change (inspect the diff before committing)
@@ -22,7 +24,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-json perf-smoke multi-smoke fuzz fuzz-seeds golden docs-lint ci
+.PHONY: all build vet test test-race bench bench-json perf-smoke multi-smoke controller-smoke fuzz fuzz-seeds golden docs-lint ci
 
 all: vet build test
 
@@ -47,10 +49,11 @@ bench-json:
 	$(GO) run ./cmd/perfgate -o BENCH_sim.json
 
 # perf-smoke skips the Eval-sweep wall-clock measurement (machine-dependent)
-# and gates only deterministic properties: allocs per simulated instruction
-# (fails on >2x vs the committed numbers) and the sharded engine's
-# shard-vs-barrier work split (fails if the parallel fraction or its Amdahl
-# projection drop below the pinned floors).
+# and gates allocs per simulated instruction (fails on >2x vs the committed
+# numbers), a coarse per-instruction time band (fails on >3x the committed
+# ns/inst — wide enough for machine noise, tight enough to catch a hot-path
+# blowup), and the sharded engine's shard-vs-barrier work split (fails if the
+# parallel fraction or its Amdahl projection drop below the pinned floors).
 perf-smoke:
 	$(GO) run ./cmd/perfgate -check -skip-sweep -o BENCH_sim.json
 
@@ -60,6 +63,13 @@ perf-smoke:
 # that the epoch-barrier protocol stays race-clean on the full tenancy grid.
 multi-smoke:
 	$(GO) run -race ./cmd/evaluate -fig multi -bench bfs,atax -scale 0.1 -cell-parallel 4
+
+# controller-smoke exercises the closed-loop partitioning controller under
+# tenant churn end to end: every L2 TLB tenancy mode — the online controller
+# included — with mid-run arrivals through the bounded admission queue, on
+# the sharded intra-cell engine under the race detector.
+controller-smoke:
+	$(GO) run -race ./cmd/evaluate -fig churn -bench bfs,atax -scale 0.1 -cell-parallel 4
 
 fuzz:
 	$(GO) test -fuzz FuzzReadKernel -fuzztime 10s ./internal/trace/

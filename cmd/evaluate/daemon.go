@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 
 	"gputlb"
+	"gputlb/internal/experiments"
 	"gputlb/internal/jobs"
 )
 
@@ -14,7 +16,7 @@ import (
 // reconstructs the figure rows from the returned cell results. The cells
 // are deterministic, so the daemon path renders exactly what an
 // in-process run would.
-func runViaDaemon(baseURL, fig string, benchmarks []string, scale float64, seed int64, cellParallel int, jsonOut bool) error {
+func runViaDaemon(baseURL, fig string, benchmarks []string, scale float64, seed int64, cellParallel int, objective string, jsonOut bool) error {
 	c := &jobs.Client{BaseURL: baseURL}
 	want := func(name string) bool { return fig == "all" || fig == name }
 	emit := func(name, table string, rows any) error {
@@ -65,9 +67,12 @@ func runViaDaemon(baseURL, fig string, benchmarks []string, scale float64, seed 
 	if fig == "multi" {
 		return runMultiViaDaemon(c, benchmarks, scale, seed, cellParallel, emit)
 	}
+	if fig == "churn" {
+		return runChurnViaDaemon(c, benchmarks, scale, seed, cellParallel, objective, emit)
+	}
 	supported := map[string]bool{"all": true, "10": true, "11": true, "12": true, "hugepage": true}
 	if !supported[fig] {
-		return fmt.Errorf("-fig %s is analysis-local; only 10, 11, 12, hugepage, multi (or all) run via -daemon", fig)
+		return fmt.Errorf("-fig %s is analysis-local; only 10, 11, 12, hugepage, multi, churn (or all) run via -daemon", fig)
 	}
 
 	if want("10") || want("11") {
@@ -214,4 +219,110 @@ func runMultiViaDaemon(c *jobs.Client, benchmarks []string, scale float64, seed 
 		}
 	}
 	return emit("multi", gputlb.RenderMulti(rows), rows)
+}
+
+// churnConfigs are the daemon cell configs of the churn grid: the full L2
+// TLB tenancy axis at the spatial SM split, in grid order.
+func churnConfigs() []string {
+	var out []string
+	for _, cfg := range jobs.MultiConfigNames() {
+		if strings.HasSuffix(cfg, "-spatial") {
+			out = append(out, cfg)
+		}
+	}
+	return out
+}
+
+// runChurnViaDaemon submits the tenant-churn grid as one explicit cell list —
+// a solo "baseline" cell per benchmark, then every pair x tenancy-mode cell
+// with the grid's fixed arrival pattern — and reconstructs the same ChurnRow
+// rows an in-process run would render.
+func runChurnViaDaemon(c *jobs.Client, benchmarks []string, scale float64, seed int64, cellParallel int, objective string, emit func(string, string, any) error) error {
+	benches := benchmarks
+	if len(benches) == 0 {
+		benches = gputlb.WorkloadNames()
+	}
+	if len(benches) < 2 {
+		return fmt.Errorf("-fig churn needs at least 2 benchmarks, got %d", len(benches))
+	}
+	pairs := gputlb.MultiPairs(benches)
+	configs := churnConfigs()
+
+	var cells []jobs.CellSpec
+	for _, b := range benches {
+		cells = append(cells, jobs.CellSpec{Bench: b, Config: "baseline", Scale: scale, Seed: seed, CellParallel: cellParallel})
+	}
+	for _, p := range pairs {
+		for _, cfg := range configs {
+			cells = append(cells, jobs.CellSpec{
+				Tenants:      p[:],
+				Config:       cfg,
+				Scale:        scale,
+				Seed:         seed,
+				CellParallel: cellParallel,
+				QueueCap:     experiments.ChurnQueueCap,
+				Arrivals: []jobs.ArrivalSpec{
+					{Bench: p[0], At: experiments.ChurnFirstArrival},
+					{Bench: p[1], At: experiments.ChurnSecondArrival},
+				},
+				Objective: objective,
+			})
+		}
+	}
+	id, err := c.Submit(jobs.JobSpec{Name: "evaluate-churn", Cells: cells})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "evaluate: submitted evaluate-churn as %s; polling...\n", id)
+	st, err := c.Wait(context.Background(), id, 0)
+	if err != nil {
+		return err
+	}
+	if st.State != jobs.StateDone {
+		return fmt.Errorf("job %s %s: %s", id, st.State, st.Error)
+	}
+	res, err := c.Result(id)
+	if err != nil {
+		return err
+	}
+	if len(res.Cells) != len(cells) {
+		return fmt.Errorf("job %s returned %d cells, want %d", id, len(res.Cells), len(cells))
+	}
+
+	soloIPC := make(map[string]float64, len(benches))
+	for i, b := range benches {
+		cell := res.Cells[i]
+		if cell.Cycles > 0 {
+			soloIPC[b] = float64(cell.InstsIssued) / float64(cell.Cycles)
+		}
+	}
+	rows := make([]gputlb.ChurnRow, 0, len(pairs)*len(configs))
+	i := len(benches)
+	for _, p := range pairs {
+		for _, cfg := range configs {
+			cell := res.Cells[i]
+			i++
+			mode, _, ok := jobs.ParseMultiConfig(cfg)
+			if !ok {
+				return fmt.Errorf("internal error: %q is not a multi config", cfg)
+			}
+			solo := make([]float64, len(cell.Tenants))
+			shed := 0
+			for j, tn := range cell.Tenants {
+				solo[j] = soloIPC[tn.Name]
+				if tn.Shed {
+					shed++
+				}
+			}
+			rows = append(rows, gputlb.ChurnRow{
+				Benches:         p,
+				TLBMode:         mode.String(),
+				Tenants:         cell.Tenants,
+				SoloIPC:         solo,
+				WeightedSpeedup: gputlb.WeightedSpeedup(cell.Tenants, solo),
+				Shed:            shed,
+			})
+		}
+	}
+	return emit("churn", gputlb.RenderChurn(rows), rows)
 }

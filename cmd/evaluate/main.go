@@ -31,15 +31,16 @@ func main() {
 	log.SetPrefix("evaluate: ")
 
 	var (
-		fig      = flag.String("fig", "all", "what to produce: 10 | 11 | 12 | hugepage | multi | ablations | warp | balance | seeds | all")
-		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
-		scale    = flag.Float64("scale", 1.0, "workload scale factor")
-		seed     = flag.Int64("seed", 1, "workload generation seed")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells (results are identical at any value)")
-		cellPar  = flag.Int("cell-parallel", 1, "intra-cell engine: 1 = serial (golden-identical), N>=2 = sharded epoch-barrier engine with up to N workers per cell (bit-identical at any N>=2)")
-		jsonOut  = flag.Bool("json", false, "emit the row structs as JSON instead of tables")
-		daemon   = flag.String("daemon", "", "submit the sweep to a gputlbd at this URL instead of running in-process (figs 10/11/12/hugepage/multi)")
-		out      cliutil.OutputFlags
+		fig       = flag.String("fig", "all", "what to produce: 10 | 11 | 12 | hugepage | multi | churn | ablations | warp | balance | seeds | all")
+		bench     = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
+		scale     = flag.Float64("scale", 1.0, "workload scale factor")
+		seed      = flag.Int64("seed", 1, "workload generation seed")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells (results are identical at any value)")
+		cellPar   = flag.Int("cell-parallel", 1, "intra-cell engine: 1 = serial (golden-identical), N>=2 = sharded epoch-barrier engine with up to N workers per cell (bit-identical at any N>=2)")
+		jsonOut   = flag.Bool("json", false, "emit the row structs as JSON instead of tables")
+		objective = flag.String("objective", "", "partitioning-controller objective for controller cells: ws | fairness | maxmin (default ws)")
+		daemon    = flag.String("daemon", "", "submit the sweep to a gputlbd at this URL instead of running in-process (figs 10/11/12/hugepage/multi)")
+		out       cliutil.OutputFlags
 	)
 	out.Register(flag.CommandLine)
 	flag.Parse()
@@ -50,7 +51,7 @@ func main() {
 	}
 
 	if *daemon != "" {
-		if err := runViaDaemon(*daemon, *fig, benchmarks, *scale, *seed, *cellPar, *jsonOut); err != nil {
+		if err := runViaDaemon(*daemon, *fig, benchmarks, *scale, *seed, *cellPar, *objective, *jsonOut); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -67,6 +68,7 @@ func main() {
 	opt.Parallelism = *parallel
 	opt.CellParallel = *cellPar
 	opt.Benchmarks = benchmarks
+	opt.Objective = *objective
 	opt.StatsDump = out.NewStatsDump()
 	opt.Tracer = out.NewTracer()
 
@@ -111,12 +113,21 @@ func main() {
 	}
 	if *fig == "multi" {
 		// Not part of -fig all: the co-run grid is all benchmark pairs x
-		// 9 configurations and dwarfs the single-kernel figures.
+		// 12 configurations and dwarfs the single-kernel figures.
 		rows, err := gputlb.MultiGrid(opt)
 		if err != nil {
 			log.Fatal(err)
 		}
 		emit("multi", gputlb.RenderMulti(rows), rows)
+	}
+	if *fig == "churn" {
+		// Not part of -fig all for the same reason: all pairs x the L2 TLB
+		// tenancy axis, each cell with mid-run tenant arrivals.
+		rows, err := gputlb.ChurnGrid(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("churn", gputlb.RenderChurn(rows), rows)
 	}
 	if *fig == "seeds" {
 		rows, err := gputlb.SeedSweep(opt, []int64{1, 2, 3})

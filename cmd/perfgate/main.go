@@ -14,11 +14,13 @@
 //	perfgate               # refresh the "current" section after a change
 //	perfgate -check        # CI perf smoke: re-measure the per-instruction
 //	                       # path only and fail on a >2x allocs/op regression
-//	                       # against the committed "current" numbers
+//	                       # or a >3x ns/inst blowup against the committed
+//	                       # "current" numbers
 //
 // Wall-clock numbers are machine-dependent; the committed file records the
-// trajectory on one reference machine, and the CI gate keys only off
-// allocs/op, which is deterministic.
+// trajectory on one reference machine. The CI gate keys primarily off
+// allocs/op, which is deterministic, plus a deliberately wide (3x) ns/inst
+// band that only catches structural hot-path regressions.
 package main
 
 import (
@@ -185,6 +187,21 @@ func runCheck(path string) error {
 		return fmt.Errorf("allocs/op regression: %.4f allocs/inst exceeds %.4f (2x committed %.4f); "+
 			"fix the allocation or refresh BENCH_sim.json with `make bench-json` if intentional",
 			got.AllocsPerInst, limit, committed)
+	}
+	// Wall-clock sanity gate: the controller-off per-instruction cost must
+	// stay within a wide noise band of the committed reference. 3x absorbs
+	// slow CI machines while still catching structural regressions — e.g.
+	// churn or controller bookkeeping leaking into the hot path of runs
+	// that never enable them.
+	if committedNs := f.Current.PerInst.NsPerInst; committedNs > 0 {
+		nsLimit := 3 * committedNs
+		fmt.Printf("ns/inst: measured %.1f, committed %.1f, limit %.1f\n",
+			got.NsPerInst, committedNs, nsLimit)
+		if got.NsPerInst > nsLimit {
+			return fmt.Errorf("per-inst time regression: %.1f ns/inst exceeds %.1f (3x committed %.1f); "+
+				"fix the hot path or refresh BENCH_sim.json with `make bench-json` if intentional",
+				got.NsPerInst, nsLimit, committedNs)
+		}
 	}
 	pcp := measurePerCellParallel()
 	fmt.Printf("cell-parallel: %.4f parallel fraction (%d local events, %d barrier ops, %d global), "+

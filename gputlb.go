@@ -328,6 +328,19 @@ var (
 	MultiPairs  = experiments.MultiPairs
 )
 
+// ChurnRow is one cell of the tenant-churn study: a workload pair under one
+// L2 TLB tenancy mode with the grid's fixed mid-run arrival pattern.
+type ChurnRow = experiments.ChurnRow
+
+// ChurnGrid and RenderChurn run and format the tenant-churn study: every
+// benchmark pair under the full L2 TLB tenancy axis — including the online
+// partitioning controller — with mid-run arrivals through a bounded
+// admission queue.
+var (
+	ChurnGrid   = experiments.ChurnGrid
+	RenderChurn = experiments.RenderChurn
+)
+
 // SeedSweepRow is the per-seed robustness row.
 type SeedSweepRow = experiments.SeedSweepRow
 

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"gputlb/internal/workloads"
+)
+
+func TestChurnGridShape(t *testing.T) {
+	rows, err := ChurnGrid(multiOpt("bfs", "atax"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(MultiTLBModes); len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	for i, mode := range MultiTLBModes {
+		r := rows[i]
+		if r.Benches != [2]string{"bfs", "atax"} || r.TLBMode != mode.String() {
+			t.Errorf("row %d = %v/%s", i, r.Benches, r.TLBMode)
+		}
+		// Two initial tenants plus the two fixed arrivals.
+		if len(r.Tenants) != 4 || len(r.SoloIPC) != 4 {
+			t.Fatalf("row %d has %d tenants, %d solo refs", i, len(r.Tenants), len(r.SoloIPC))
+		}
+		for j, tn := range r.Tenants {
+			if tn.Shed {
+				continue
+			}
+			if tn.IPC() <= 0 || r.SoloIPC[j] <= 0 {
+				t.Errorf("row %d tenant %d: IPC %f, solo %f", i, j, tn.IPC(), r.SoloIPC[j])
+			}
+		}
+		if r.WeightedSpeedup <= 0 {
+			t.Errorf("row %d weighted speedup %f", i, r.WeightedSpeedup)
+		}
+		// The arrivals re-run the pair's own benchmarks.
+		if r.Tenants[2].Name != "bfs" || r.Tenants[3].Name != "atax" {
+			t.Errorf("row %d arrivals = %s, %s", i, r.Tenants[2].Name, r.Tenants[3].Name)
+		}
+	}
+}
+
+func TestChurnGridDeterministic(t *testing.T) {
+	r1, err := ChurnGrid(multiOpt("bfs", "atax"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := multiOpt("bfs", "atax")
+	opt.Parallelism = 1
+	r2, err := ChurnGrid(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("ChurnGrid rows differ across parallelism levels")
+	}
+	if RenderChurn(r1) != RenderChurn(r2) {
+		t.Error("rendered churn tables differ")
+	}
+}
+
+func TestChurnGridObjective(t *testing.T) {
+	opt := multiOpt("bfs", "atax")
+	opt.Objective = "maxmin"
+	if _, err := ChurnGrid(opt); err != nil {
+		t.Fatal(err)
+	}
+	opt.Objective = "bogus"
+	if _, err := ChurnGrid(opt); err == nil {
+		t.Error("unknown objective accepted")
+	}
+	if _, err := ChurnGrid(multiOpt("bfs")); err == nil {
+		t.Error("single-benchmark churn grid accepted")
+	}
+}
+
+// TestControllerBeatsStaticTenancySomewhere is the headline claim of the
+// churn study: under tenant churn, the online partitioning controller
+// yields a higher weighted speedup than every static tenancy mode for at
+// least one workload pair. mis+pagerank at scale 0.2 is such a pair: the
+// two graph kernels interfere heavily in the L2 TLB (partitioning already
+// pays off statically), and the controller additionally reclaims a
+// departed tenant's SMs and TLB sets for the survivors — which no static
+// mode can do.
+func TestControllerBeatsStaticTenancySomewhere(t *testing.T) {
+	opt := Options{
+		Params:     workloads.Params{PageShift: 12, Seed: 1, Scale: 0.2},
+		Benchmarks: []string{"mis", "pagerank"},
+	}
+	rows, err := ChurnGrid(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := map[string]float64{}
+	for _, r := range rows {
+		ws[r.TLBMode] = r.WeightedSpeedup
+	}
+	for _, static := range []string{"shared", "static", "dynamic"} {
+		if ws["controller"] <= ws[static] {
+			t.Errorf("controller WS %.4f not above %s %.4f for mis+pagerank under churn",
+				ws["controller"], static, ws[static])
+		}
+	}
+}
+
+func TestRenderChurn(t *testing.T) {
+	rows, err := ChurnGrid(multiOpt("bfs", "atax"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderChurn(rows)
+	for _, want := range []string{"bfs+atax", "controller", "Geomean WS", "Shed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered churn table missing %q:\n%s", want, out)
+		}
+	}
+}

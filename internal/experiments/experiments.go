@@ -51,6 +51,11 @@ type Options struct {
 	// differ slightly from the serial engine's (a different — equally
 	// deterministic — serialization of shared-resource requests).
 	CellParallel int
+	// Objective overrides the partitioning controller's optimization
+	// objective for controller-mode cells ("ws", "fairness", "maxmin");
+	// empty keeps the default weighted-speedup objective. Ignored by cells
+	// that never attach a controller.
+	Objective string
 }
 
 // StatsRow is one simulated cell's identity plus its full stats tree.

@@ -14,7 +14,7 @@ import (
 // --------------------------------------------------- multi-tenant co-run grid
 
 // MultiTLBModes is the L2 TLB tenancy axis of the co-run grid.
-var MultiTLBModes = []multi.TLBMode{multi.TLBSharedMode, multi.TLBStaticMode, multi.TLBDynamicMode}
+var MultiTLBModes = []multi.TLBMode{multi.TLBSharedMode, multi.TLBStaticMode, multi.TLBDynamicMode, multi.TLBControllerMode}
 
 // MultiSMPolicies is the SM assignment axis of the co-run grid.
 var MultiSMPolicies = []sched.SMAssignment{sched.AssignSpatial, sched.AssignInterleaved, sched.AssignShared}

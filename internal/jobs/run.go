@@ -3,6 +3,7 @@ package jobs
 import (
 	"fmt"
 
+	"gputlb/internal/control"
 	"gputlb/internal/experiments"
 	"gputlb/internal/multi"
 	"gputlb/internal/sim"
@@ -97,13 +98,30 @@ func runMultiCell(c CellSpec) (CellResult, error) {
 	if c.PageShift != 0 {
 		p.PageShift = c.PageShift
 	}
-	r, err := multi.CoRun(c.Tenants, multi.Options{
+	opt := multi.Options{
 		Base:         &cfg,
 		Params:       p,
 		SMPolicy:     assign,
 		TLBMode:      mode,
 		CellParallel: c.CellParallel,
-	})
+	}
+	if len(c.Arrivals) > 0 {
+		churn := &multi.Churn{QueueCap: c.QueueCap}
+		for _, a := range c.Arrivals {
+			churn.Arrivals = append(churn.Arrivals, multi.Arrival{Bench: a.Bench, At: a.At})
+		}
+		opt.Churn = churn
+	}
+	if c.Objective != "" {
+		obj, err := control.ParseObjective(c.Objective)
+		if err != nil {
+			return CellResult{}, fmt.Errorf("%s [%s]: %w", c.Bench, c.Config, err)
+		}
+		cc := control.DefaultConfig()
+		cc.Objective = obj
+		opt.Control = &cc
+	}
+	r, err := multi.CoRun(c.Tenants, opt)
 	if err != nil {
 		return CellResult{}, fmt.Errorf("%s [%s]: %w", c.Bench, c.Config, err)
 	}

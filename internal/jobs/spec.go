@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"gputlb/internal/arch"
+	"gputlb/internal/control"
 	"gputlb/internal/experiments"
 	"gputlb/internal/multi"
 	"gputlb/internal/sched"
@@ -39,6 +40,26 @@ type CellSpec struct {
 	// goroutines. Sharded cells are bit-identical at every n >= 2, so the
 	// value is not part of the cell's identity beyond serial-vs-sharded.
 	CellParallel int `json:"cell_parallel,omitempty"`
+	// Arrivals adds tenant churn to a multi-tenant cell: each listed
+	// benchmark arrives mid-run at its cycle, entering a free slot or the
+	// bounded admission queue. Requires a Tenants list.
+	Arrivals []ArrivalSpec `json:"arrivals,omitempty"`
+	// QueueCap bounds the admission queue of a churn cell; arrivals past a
+	// full queue are shed. Only meaningful with Arrivals.
+	QueueCap int `json:"queue_cap,omitempty"`
+	// Objective overrides the partitioning controller's optimization
+	// objective ("ws", "fairness", "maxmin") for "multi-controller-*"
+	// cells; empty keeps the default. Ignored by other configs.
+	Objective string `json:"objective,omitempty"`
+}
+
+// ArrivalSpec is one churn arrival of a multi-tenant cell.
+type ArrivalSpec struct {
+	// Bench is the arriving benchmark (Table II suite).
+	Bench string `json:"bench"`
+	// At is the arrival cycle; must be positive, nondecreasing across the
+	// cell's arrival list.
+	At int64 `json:"at"`
 }
 
 // JobSpec is a submitted experiment grid. Either list Cells explicitly or
@@ -198,10 +219,34 @@ func (s *JobSpec) Normalize() error {
 			if _, _, ok := ParseMultiConfig(c.Config); !ok {
 				return fmt.Errorf("jobs: cell %d: unknown multi config %q (one of %v)", i, c.Config, MultiConfigNames())
 			}
+			if c.QueueCap < 0 {
+				return fmt.Errorf("jobs: cell %d: negative queue capacity %d", i, c.QueueCap)
+			}
+			if c.QueueCap > 0 && len(c.Arrivals) == 0 {
+				return fmt.Errorf("jobs: cell %d: queue capacity without arrivals", i)
+			}
+			var prev int64
+			for j, a := range c.Arrivals {
+				if _, ok := workloads.ByName(a.Bench); !ok {
+					return fmt.Errorf("jobs: cell %d: unknown arrival benchmark %q", i, a.Bench)
+				}
+				if a.At <= 0 || a.At < prev {
+					return fmt.Errorf("jobs: cell %d: arrival %d cycle %d not positive and nondecreasing", i, j, a.At)
+				}
+				prev = a.At
+			}
+			if c.Objective != "" {
+				if _, err := control.ParseObjective(c.Objective); err != nil {
+					return fmt.Errorf("jobs: cell %d: %w", i, err)
+				}
+			}
 			if c.Bench == "" {
 				c.Bench = strings.Join(c.Tenants, "+")
 			}
 			continue
+		}
+		if len(c.Arrivals) > 0 || c.QueueCap != 0 || c.Objective != "" {
+			return fmt.Errorf("jobs: cell %d: churn fields require a tenants list", i)
 		}
 		if _, ok := workloads.ByName(c.Bench); !ok {
 			return fmt.Errorf("jobs: cell %d: unknown benchmark %q", i, c.Bench)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"gputlb/internal/arch"
+	"gputlb/internal/control"
+	"gputlb/internal/engine"
 	"gputlb/internal/sched"
 	"gputlb/internal/sim"
 	"gputlb/internal/workloads"
@@ -23,6 +25,11 @@ const (
 	// adjacent-set sharing rule: a tenant whose partition stops yielding
 	// hits spills into its neighbour's sets until the neighbour pushes back.
 	TLBDynamicMode
+	// TLBControllerMode starts from the static partition and attaches the
+	// online partitioning controller (internal/control): set ownership and
+	// SM assignment are repartitioned at runtime from per-tenant translation
+	// metrics, and rebalanced on tenant arrivals and departures.
+	TLBControllerMode
 )
 
 // String implements fmt.Stringer.
@@ -34,6 +41,8 @@ func (m TLBMode) String() string {
 		return "static"
 	case TLBDynamicMode:
 		return "dynamic"
+	case TLBControllerMode:
+		return "controller"
 	default:
 		return fmt.Sprintf("TLBMode(%d)", int(m))
 	}
@@ -48,6 +57,8 @@ func ParseTLBMode(name string) (TLBMode, error) {
 		return TLBStaticMode, nil
 	case "dynamic":
 		return TLBDynamicMode, nil
+	case "controller":
+		return TLBControllerMode, nil
 	}
 	return 0, fmt.Errorf("multi: unknown TLB mode %q", name)
 }
@@ -55,7 +66,7 @@ func ParseTLBMode(name string) (TLBMode, error) {
 // l2Policy translates the mode into the TLB's index policy.
 func (m TLBMode) l2Policy() arch.TLBIndexPolicy {
 	switch m {
-	case TLBStaticMode:
+	case TLBStaticMode, TLBControllerMode:
 		return arch.IndexByTB
 	case TLBDynamicMode:
 		return arch.IndexByTBShared
@@ -81,6 +92,27 @@ type Options struct {
 	// engine; n >= 2 runs the sharded epoch-barrier engine with up to n
 	// worker goroutines (bit-identical across all n >= 2).
 	CellParallel int
+	// Control overrides the controller configuration under
+	// TLBControllerMode (nil means control.DefaultConfig()); ignored for
+	// the other modes.
+	Control *control.Config
+	// Churn, when non-nil, adds benchmarks arriving mid-run through a
+	// bounded admission queue.
+	Churn *Churn
+}
+
+// Arrival is one benchmark arriving mid-run.
+type Arrival struct {
+	Bench string
+	At    int64
+}
+
+// Churn describes mid-run tenant traffic for CoRun.
+type Churn struct {
+	// QueueCap bounds the admission queue; overflow arrivals are shed.
+	QueueCap int
+	// Arrivals lists the arriving benchmarks in arrival-cycle order.
+	Arrivals []Arrival
 }
 
 // config resolves the base configuration.
@@ -127,9 +159,33 @@ func CoRun(benches []string, opt Options) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, err
 	}
-	s, err := sim.NewMulti(opt.config(), tenants, sim.MultiOptions{L2TLBPolicy: opt.TLBMode.l2Policy()})
+	mopt := sim.MultiOptions{L2TLBPolicy: opt.TLBMode.l2Policy()}
+	if opt.Churn != nil {
+		spec := &sim.ChurnSpec{QueueCap: opt.Churn.QueueCap}
+		for _, a := range opt.Churn.Arrivals {
+			k, as, ok := workloads.CachedByName(a.Bench, opt.params())
+			if !ok {
+				return sim.Result{}, fmt.Errorf("multi: unknown benchmark %q", a.Bench)
+			}
+			spec.Arrivals = append(spec.Arrivals, sim.ChurnArrival{
+				Tenant: sim.Tenant{Name: a.Bench, Kernel: k, AS: as},
+				At:     engine.Cycle(a.At),
+			})
+		}
+		mopt.Churn = spec
+	}
+	s, err := sim.NewMulti(opt.config(), tenants, mopt)
 	if err != nil {
 		return sim.Result{}, err
+	}
+	if opt.TLBMode == TLBControllerMode {
+		cc := control.DefaultConfig()
+		if opt.Control != nil {
+			cc = *opt.Control
+		}
+		if _, err := s.AttachController(cc); err != nil {
+			return sim.Result{}, err
+		}
 	}
 	s.SetCellParallel(opt.CellParallel)
 	return s.Run(), nil
@@ -154,10 +210,15 @@ func Solo(bench string, opt Options) (sim.Result, error) {
 // the sum over tenants of IPC_co-run / IPC_solo. soloIPC[i] must be tenant
 // i's solo IPC under the same base configuration. A value of n (the tenant
 // count) would mean zero interference; higher values mean co-running beats
-// time-slicing the GPU.
+// time-slicing the GPU. Shed tenants (churn admission-queue overflow) never
+// ran and are skipped; tenants that ran for only part of the cell are
+// scored over their own elapsed cycles (TenantResult.IPC).
 func WeightedSpeedup(tenants []sim.TenantResult, soloIPC []float64) float64 {
 	var ws float64
 	for i, tn := range tenants {
+		if tn.Shed {
+			continue
+		}
 		if i < len(soloIPC) && soloIPC[i] > 0 {
 			ws += tn.IPC() / soloIPC[i]
 		}

@@ -281,9 +281,13 @@ func (s *Simulator) runSharded(workers int) Result {
 	runner := engine.NewEpochRunner(len(s.shards), workers, s.shardStep)
 	defer runner.Close()
 
+	s.scheduleArrivals()
 	s.dispatch()
 	if s.cfg.SampleInterval > 0 {
 		s.queue.Schedule(engine.Cycle(s.cfg.SampleInterval), s.sampleFn)
+	}
+	if s.ctl != nil {
+		s.queue.Schedule(s.ctlPeriod, s.ctlFn)
 	}
 
 	epoch := s.epochLength()
@@ -484,8 +488,11 @@ func (s *Simulator) applyOp(shard int, op *sharedOp, limit engine.Cycle) {
 		tn := op.ws.tn
 		tn.tbsDone++
 		s.tbsDone++
-		if s.l2Partitioned && tn.tbsDone == len(tn.kernel.TBs) {
-			s.l2tlb.OnTBFinish(int(tn.asid))
+		if tn.tbsDone == len(tn.kernel.TBs) {
+			if s.l2Partitioned {
+				s.l2tlb.OnTBFinish(tn.slot)
+			}
+			s.depart(tn)
 		}
 		s.scheduleDispatch()
 	case opEvict:
@@ -502,8 +509,9 @@ func (s *Simulator) applyOp(shard int, op *sharedOp, limit engine.Cycle) {
 			}
 			ppn = real
 		}
-		if !s.l2tlb.ContainsA(op.asid, int(op.asid), op.vpn) {
-			s.l2tlb.InsertA(op.asid, int(op.asid), op.vpn, ppn)
+		sl := s.tenants[op.asid].slot
+		if !s.l2tlb.ContainsA(op.asid, sl, op.vpn) {
+			s.l2tlb.InsertA(op.asid, sl, op.vpn, ppn)
 		}
 		if s.tracer.Enabled() {
 			s.tracer.Instant(s.tracePID, s.shards[shard].sm.id, "l1tlb_evict", "tlb",

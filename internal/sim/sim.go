@@ -5,6 +5,7 @@ import (
 
 	"gputlb/internal/arch"
 	"gputlb/internal/cache"
+	"gputlb/internal/control"
 	"gputlb/internal/dram"
 	"gputlb/internal/engine"
 	"gputlb/internal/noc"
@@ -192,6 +193,32 @@ type Simulator struct {
 	// releases its partition's sharing state like a finished TB does.
 	l2Partitioned bool
 
+	// Machine slots: the initial tenants define numSlots slots, each owning
+	// an SM list and (when l2Partitioned) an L2 TLB set range. slotOwner[i]
+	// is the tenant currently executing in slot i (nil after a departure
+	// with no queued arrival); slotSMs[i] its SM list, which the online
+	// controller may resize. l2Bounds mirrors the L2 TLB's explicit set
+	// partition when a controller manages it (nil otherwise: equal split).
+	numSlots  int
+	slotSMs   [][]int
+	slotOwner []*tenantState
+	l2Bounds  []int
+
+	// Churn: admitQ holds arrived tenants waiting for a free slot (bounded
+	// by queueCap); churn marks that arrivals exist at all.
+	churn    bool
+	admitQ   []*tenantState
+	queueCap int
+
+	// Online partitioning controller (AttachController). ctlFn is the
+	// prebuilt periodic-tick callback; the tick is a global-queue event, so
+	// the sharded engine's epochs truncate at it and the counters it samples
+	// are identical at every worker count and epoch length.
+	ctl        *control.Controller
+	ctlPeriod  engine.Cycle
+	ctlFn      func()
+	ctlSamples []control.Sample
+
 	queue engine.Queue
 	clock engine.Cycle
 
@@ -281,6 +308,9 @@ func NewMulti(cfg arch.Config, tenants []Tenant, mopt MultiOptions) (*Simulator,
 	if err := validateTenants(cfg, tenants); err != nil {
 		return nil, err
 	}
+	if err := validateChurn(cfg, len(tenants), mopt.Churn); err != nil {
+		return nil, err
+	}
 	s := &Simulator{
 		cfg:         cfg,
 		l2cache:     cache.New(cfg.L2Cache),
@@ -304,6 +334,8 @@ func NewMulti(cfg arch.Config, tenants []Tenant, mopt MultiOptions) (*Simulator,
 			kernel:    t.Kernel,
 			as:        t.AS,
 			sms:       sms,
+			slot:      i,
+			active:    true,
 			policy:    sched.NewPolicy(cfg.TBScheduler),
 			statusBuf: make([]sched.SMStatus, len(sms)),
 		}
@@ -311,6 +343,34 @@ func NewMulti(cfg arch.Config, tenants []Tenant, mopt MultiOptions) (*Simulator,
 		s.totalTBs += len(t.Kernel.TBs)
 		if n := t.Kernel.ConcurrentTBsPerSM(cfg); n > slots {
 			slots = n
+		}
+	}
+	s.numSlots = len(tenants)
+	s.slotSMs = make([][]int, s.numSlots)
+	s.slotOwner = make([]*tenantState, s.numSlots)
+	for i, tn := range s.tenants {
+		s.slotSMs[i] = tn.sms
+		s.slotOwner[i] = tn
+	}
+	if mopt.Churn != nil {
+		s.churn = true
+		s.queueCap = mopt.Churn.QueueCap
+		for _, a := range mopt.Churn.Arrivals {
+			tn := &tenantState{
+				asid:      vm.ASID(len(s.tenants)),
+				name:      a.Tenant.Name,
+				kernel:    a.Tenant.Kernel,
+				as:        a.Tenant.AS,
+				slot:      -1,
+				isArrival: true,
+				arriveAt:  a.At,
+				policy:    sched.NewPolicy(cfg.TBScheduler),
+			}
+			s.tenants = append(s.tenants, tn)
+			s.totalTBs += len(a.Tenant.Kernel.TBs)
+			if n := a.Tenant.Kernel.ConcurrentTBsPerSM(cfg); n > slots {
+				slots = n
+			}
 		}
 	}
 	s.dispatchFn = func() {
@@ -344,7 +404,7 @@ func NewMulti(cfg arch.Config, tenants []Tenant, mopt MultiOptions) (*Simulator,
 	}
 	s.l2tlb = tlb.New(cfg.L2TLB, l2opt)
 	if s.l2Partitioned {
-		s.l2tlb.ConfigureSlots(len(tenants))
+		s.l2tlb.ConfigureSlots(s.numSlots)
 	}
 	if cfg.PWCEntries > 0 {
 		// Fully-associative page-walk cache of last-level PT pointers.
@@ -378,8 +438,9 @@ func NewMulti(cfg arch.Config, tenants []Tenant, mopt MultiOptions) (*Simulator,
 				sh.seq++
 				return
 			}
-			if !s.l2tlb.ContainsA(asid, int(asid), vpn) {
-				s.l2tlb.InsertA(asid, int(asid), vpn, ppn)
+			sl := s.tenants[asid].slot
+			if !s.l2tlb.ContainsA(asid, sl, vpn) {
+				s.l2tlb.InsertA(asid, sl, vpn, ppn)
 			}
 			if s.tracer.Enabled() {
 				s.tracer.Instant(s.tracePID, smID, "l1tlb_evict", "tlb",
@@ -493,9 +554,13 @@ func (s *Simulator) Run() Result {
 	if s.cellParallel >= 2 {
 		return s.runSharded(s.cellParallel)
 	}
+	s.scheduleArrivals()
 	s.dispatch()
 	if s.cfg.SampleInterval > 0 {
 		s.queue.Schedule(engine.Cycle(s.cfg.SampleInterval), s.sampleFn)
+	}
+	if s.ctl != nil {
+		s.queue.Schedule(s.ctlPeriod, s.ctlFn)
 	}
 	for s.queue.Len() > 0 {
 		ev := s.queue.Pop()
@@ -593,6 +658,9 @@ func (s *Simulator) dispatch() {
 	for {
 		placed := false
 		for _, tn := range s.tenants {
+			if !tn.active {
+				continue
+			}
 			if s.placeNext(tn) {
 				placed = true
 			}
@@ -879,8 +947,11 @@ func (s *Simulator) retireWarp(ws *warpState) {
 	tn := ws.tn
 	tn.tbsDone++
 	s.tbsDone++
-	if s.l2Partitioned && tn.tbsDone == len(tn.kernel.TBs) {
-		s.l2tlb.OnTBFinish(int(tn.asid))
+	if tn.tbsDone == len(tn.kernel.TBs) {
+		if s.l2Partitioned {
+			s.l2tlb.OnTBFinish(tn.slot)
+		}
+		s.depart(tn)
 	}
 	s.scheduleDispatch()
 }
@@ -894,7 +965,7 @@ func (s *Simulator) scheduleDispatch() {
 	}
 	pending := false
 	for _, tn := range s.tenants {
-		if tn.nextTB < len(tn.kernel.TBs) {
+		if tn.active && tn.nextTB < len(tn.kernel.TBs) {
 			pending = true
 			break
 		}
@@ -1091,7 +1162,7 @@ func (s *Simulator) translateMiss(tn *tenantState, sm *smState, slot int, vpn vm
 
 	tlbPart := int(uint64(vpn) % uint64(s.cfg.MemPartitions))
 	t2 := s.xbar.Traverse(sm.id, tlbPart, t1)
-	ppn2, hit2, probed2 := s.l2tlb.LookupA(asid, int(asid), vpn)
+	ppn2, hit2, probed2 := s.l2tlb.LookupA(asid, tn.slot, vpn)
 	// The L2 TLB bank for this VPN serves one probe at a time: queue
 	// behind earlier probes, then occupy the port for the lookup.
 	bank := int(vpn) % len(s.l2tlbMeters)
@@ -1156,7 +1227,7 @@ func (s *Simulator) translateMiss(tn *tenantState, sm *smState, slot int, vpn vm
 	}
 	s.traceWalk(sm.id, vpn, wstart, wdone, faulted)
 
-	s.l2tlb.InsertA(asid, int(asid), vpn, wppn)
+	s.l2tlb.InsertA(asid, tn.slot, vpn, wppn)
 	s.fillL1(sm, slot, asid, vpn, wppn)
 	s.traceFill(sm.id, vpn, wdone, "walk")
 	s.l2Inflight.put(key, wppn, wdone, s.clock)

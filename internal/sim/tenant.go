@@ -35,6 +35,30 @@ type MultiOptions struct {
 	// sharing rule on top of the static partition, with the tenant in the
 	// role the TB id plays in the single-kernel design.
 	L2TLBPolicy arch.TLBIndexPolicy
+	// Churn, when non-nil, adds tenants that arrive mid-run: the initial
+	// tenants define the machine's slots, and arriving kernels are admitted
+	// into slots freed by departures, queue while none is free, or are shed
+	// when the queue is full — a MIG-like service under traffic.
+	Churn *ChurnSpec
+}
+
+// ChurnArrival is one kernel arriving mid-run.
+type ChurnArrival struct {
+	// Tenant describes the arriving kernel. Its SMs field must be nil: an
+	// admitted arrival inherits the SM list of the slot it lands in.
+	Tenant Tenant
+	// At is the arrival cycle (> 0). Arrivals must be sorted by At.
+	At engine.Cycle
+}
+
+// ChurnSpec describes mid-run tenant traffic for NewMulti.
+type ChurnSpec struct {
+	// QueueCap bounds the admission queue: an arrival finding every slot
+	// occupied waits here, and overflows beyond the cap are shed (dropped
+	// deterministically, reported with Shed set in their TenantResult).
+	QueueCap int
+	// Arrivals lists the arriving kernels in arrival-cycle order.
+	Arrivals []ChurnArrival
 }
 
 // TenantResult summarizes one tenant of a multi-tenant run. Stall counters
@@ -55,14 +79,26 @@ type TenantResult struct {
 	StallL2      int64   `json:"stall_l2"`
 	StallWalk    int64   `json:"stall_walk"`
 	StallFault   int64   `json:"stall_fault"`
+	// StartCycle is the cycle the tenant began executing: 0 for the initial
+	// tenants, the admission cycle for churn arrivals. WaitCycles is the
+	// time an arrival spent in the admission queue. Shed marks an arrival
+	// dropped on queue overflow (all its other counters are zero).
+	StartCycle int64 `json:"start_cycle,omitempty"`
+	WaitCycles int64 `json:"wait_cycles,omitempty"`
+	Shed       bool  `json:"shed,omitempty"`
 }
 
-// IPC returns the tenant's instructions per cycle over its own runtime.
+// IPC returns the tenant's instructions per cycle over its own elapsed
+// runtime — from its start (admission, for churn arrivals) to the
+// completion of its last warp, not the whole cell's runtime. Weighted
+// speedup over a churn run depends on this: a tenant admitted late would
+// otherwise be charged for cycles it never ran.
 func (t TenantResult) IPC() float64 {
-	if t.Cycles == 0 {
+	elapsed := t.Cycles - t.StartCycle
+	if elapsed <= 0 {
 		return 0
 	}
-	return float64(t.InstsIssued) / float64(t.Cycles)
+	return float64(t.InstsIssued) / float64(elapsed)
 }
 
 // L1TLBHitRate returns the tenant's private L1 TLB hit rate.
@@ -90,6 +126,19 @@ type tenantState struct {
 	sms    []int
 	policy sched.Policy
 
+	// slot is the machine slot the tenant occupies (its L2 TLB partition
+	// index and SM-list index); without churn it equals the ASID. active
+	// marks it as currently executing: initial tenants from cycle 0, churn
+	// arrivals from admission to departure. Arrival tenants carry their
+	// arrival cycle and, once admitted, their start cycle; shed marks an
+	// arrival dropped on admission-queue overflow.
+	slot       int
+	active     bool
+	isArrival  bool
+	arriveAt   engine.Cycle
+	startCycle engine.Cycle
+	shed       bool
+
 	nextTB   int
 	cursor   int
 	tbsDone  int
@@ -111,9 +160,16 @@ type tenantState struct {
 
 // result materializes the tenant's counters.
 func (tn *tenantState) result() TenantResult {
+	var wait int64
+	if tn.isArrival && !tn.shed {
+		wait = int64(tn.startCycle - tn.arriveAt)
+	}
 	return TenantResult{
 		ASID:         tn.asid,
 		Name:         tn.name,
+		StartCycle:   int64(tn.startCycle),
+		WaitCycles:   wait,
+		Shed:         tn.shed,
 		Cycles:       int64(tn.lastDone),
 		InstsIssued:  tn.insts,
 		PageRequests: tn.pageReqs,
@@ -184,6 +240,52 @@ func validateTenants(cfg arch.Config, tenants []Tenant) error {
 			if len(tn.SMs) == 0 {
 				return fmt.Errorf("sim: tenant %d has no SMs assigned", i)
 			}
+		}
+	}
+	return nil
+}
+
+// validateChurn checks a churn spec against the configuration and the
+// initial tenant count.
+func validateChurn(cfg arch.Config, nInitial int, spec *ChurnSpec) error {
+	if spec == nil {
+		return nil
+	}
+	if nInitial < 2 {
+		return errors.New("sim: churn requires at least two initial tenants (they define the slots)")
+	}
+	if spec.QueueCap < 0 {
+		return fmt.Errorf("sim: negative admission queue capacity %d", spec.QueueCap)
+	}
+	if total := nInitial + len(spec.Arrivals); total > vm.MaxTenants {
+		return fmt.Errorf("sim: %d tenants (initial + arrivals) exceeds the ASID limit of %d",
+			total, vm.MaxTenants)
+	}
+	var last engine.Cycle
+	for i, a := range spec.Arrivals {
+		if a.At <= 0 {
+			return fmt.Errorf("sim: arrival %d at cycle %d, must be positive", i, a.At)
+		}
+		if a.At < last {
+			return fmt.Errorf("sim: arrival %d at cycle %d out of order (previous %d)", i, a.At, last)
+		}
+		last = a.At
+		t := a.Tenant
+		if t.Kernel == nil || t.AS == nil {
+			return fmt.Errorf("sim: arrival %d missing kernel or address space", i)
+		}
+		if t.AS.PageShift() != cfg.PageShift() {
+			return fmt.Errorf("sim: arrival %d address space page shift %d does not match config %d",
+				i, t.AS.PageShift(), cfg.PageShift())
+		}
+		if len(t.Kernel.TBs) == 0 {
+			return fmt.Errorf("sim: arrival kernel %q has no thread blocks", t.Kernel.Name)
+		}
+		if err := t.Kernel.ValidatePhases(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+		if t.SMs != nil {
+			return fmt.Errorf("sim: arrival %d has an explicit SM list; arrivals inherit their slot's", i)
 		}
 	}
 	return nil

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"gputlb/internal/arch"
+	"gputlb/internal/control"
+	"gputlb/internal/engine"
 	"gputlb/internal/multi"
 	"gputlb/internal/sched"
 	"gputlb/internal/sim"
@@ -114,4 +116,72 @@ func TestMultiTenantEpochMatrix(t *testing.T) {
 			CheckEpochInvariance(t, multiBuild(t, mode, sched.AssignSpatial), 4, nil)
 		})
 	}
+}
+
+// ctlBuild returns a Build for a two-tenant co-run with the online
+// partitioning controller attached — and, with churn, two mid-run arrivals
+// through a bounded admission queue. The short period and zero cooldown
+// force many decisions, so any counter drift across workers or epoch
+// boundaries would change an early decision and cascade into the results.
+func ctlBuild(t *testing.T, churn bool) Build {
+	t.Helper()
+	return func() (*sim.Simulator, error) {
+		opt := multi.Options{Params: testParams(), SMPolicy: sched.AssignSpatial}
+		tenants, err := multi.Tenants([]string{"bfs", "atax"}, opt)
+		if err != nil {
+			return nil, err
+		}
+		mopt := sim.MultiOptions{L2TLBPolicy: arch.IndexByTB}
+		if churn {
+			spec := &sim.ChurnSpec{QueueCap: 1}
+			for _, a := range []struct {
+				bench string
+				at    int64
+			}{{"mis", 3000}, {"mvt", 6000}} {
+				k, as, ok := workloads.CachedByName(a.bench, testParams())
+				if !ok {
+					return nil, fmt.Errorf("unknown benchmark %q", a.bench)
+				}
+				spec.Arrivals = append(spec.Arrivals, sim.ChurnArrival{
+					Tenant: sim.Tenant{Name: a.bench, Kernel: k, AS: as},
+					At:     engine.Cycle(a.at),
+				})
+			}
+			mopt.Churn = spec
+		}
+		s, err := sim.NewMulti(arch.Default(), tenants, mopt)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.AttachController(control.Config{Period: 512, Cooldown: 0}); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// TestControllerWorkerMatrix: controller cells — with and without tenant
+// churn — are byte-identical in stats and trace stream across worker counts.
+func TestControllerWorkerMatrix(t *testing.T) {
+	for _, churn := range []bool{false, true} {
+		t.Run(fmt.Sprintf("churn=%v", churn), func(t *testing.T) {
+			CheckWorkerInvariance(t, ctlBuild(t, churn), []int{2, 4, 8}, true)
+		})
+	}
+}
+
+// TestControllerEpochMatrix: controller decisions key only on
+// barrier-sampled state, so epoch length stays invisible even with churn.
+func TestControllerEpochMatrix(t *testing.T) {
+	for _, churn := range []bool{false, true} {
+		t.Run(fmt.Sprintf("churn=%v", churn), func(t *testing.T) {
+			CheckEpochInvariance(t, ctlBuild(t, churn), 4, nil)
+		})
+	}
+}
+
+// TestControllerSerialDeterminism: the serial engine runs controller + churn
+// cells deterministically too.
+func TestControllerSerialDeterminism(t *testing.T) {
+	CheckSerialUnchanged(t, ctlBuild(t, true))
 }

@@ -86,6 +86,11 @@ type TLB struct {
 	// shareCount[i] counts spill opportunities toward ShareCounterThreshold.
 	shareCount []int
 
+	// partition, when non-nil, overrides ownedSets' equal split with
+	// explicit contiguous per-slot bounds (SetPartition): slot i owns sets
+	// [partition[i], partition[i+1]). Reset by ConfigureSlots.
+	partition []int
+
 	// probeBuf backs the set list setsToProbe returns: lookups are the
 	// simulator's hottest loop and must not allocate. The buffer is
 	// invalidated by the next setsToProbe call, which every user tolerates
@@ -149,14 +154,19 @@ func (t *TLB) ConfigureSlots(n int) {
 	t.numSlots = n
 	t.shareWith = make([]uint32, n)
 	t.shareCount = make([]int, n)
+	t.partition = nil
 }
 
 // NumSlots returns the configured concurrent TB slot count.
 func (t *TLB) NumSlots() int { return t.numSlots }
 
 // ownedSets returns the contiguous set range [lo,hi) owned by slot. With
-// more slots than sets, slots fold onto single sets (slot mod sets).
+// more slots than sets, slots fold onto single sets (slot mod sets). An
+// explicit SetPartition overrides the equal split.
 func (t *TLB) ownedSets(slot int) (lo, hi int) {
+	if t.partition != nil {
+		return t.partition[slot], t.partition[slot+1]
+	}
 	s := len(t.sets)
 	n := t.numSlots
 	if n > s {
@@ -165,6 +175,41 @@ func (t *TLB) ownedSets(slot int) (lo, hi int) {
 	}
 	return slot * s / n, (slot + 1) * s / n
 }
+
+// SetPartition overrides the partitioned index policies' equal set split
+// with explicit contiguous per-slot bounds: slot i owns sets
+// [bounds[i], bounds[i+1]). bounds must have NumSlots+1 monotone entries
+// spanning [0, Sets]; it is copied. Existing entries are kept — a set
+// handed to another slot simply stops being probed by its old owner, and
+// its stale entries age out of the new owner's pool. nil restores the
+// equal split (as does ConfigureSlots).
+func (t *TLB) SetPartition(bounds []int) {
+	if bounds == nil {
+		t.partition = nil
+		return
+	}
+	if len(bounds) != t.numSlots+1 {
+		panic(fmt.Sprintf("tlb: partition has %d bounds for %d slots", len(bounds), t.numSlots))
+	}
+	if bounds[0] != 0 || bounds[t.numSlots] != len(t.sets) {
+		panic(fmt.Sprintf("tlb: partition spans [%d,%d], want [0,%d]",
+			bounds[0], bounds[t.numSlots], len(t.sets)))
+	}
+	for i := 0; i < t.numSlots; i++ {
+		if bounds[i+1] < bounds[i] {
+			panic(fmt.Sprintf("tlb: partition not monotone at slot %d", i))
+		}
+	}
+	if t.partition == nil {
+		t.partition = make([]int, len(bounds))
+	}
+	copy(t.partition, bounds)
+}
+
+// Partition returns the explicit set partition, or nil when the equal
+// split is in effect. The returned slice is the TLB's own copy; callers
+// must not mutate it.
+func (t *TLB) Partition() []int { return t.partition }
 
 // groupOf maps a VPN to its aligned compression group base and bit.
 func (t *TLB) groupOf(vpn vm.VPN) (base vm.VPN, bit uint64) {
@@ -333,6 +378,9 @@ func (t *TLB) InsertA(asid vm.ASID, slot int, vpn vm.VPN, ppn vm.PPN) {
 	tag, bit := t.probeKey(vpn)
 
 	probe := t.setsToProbe(slot, vpn)
+	if len(probe) == 0 {
+		return // zero-width partition slot: nowhere to hold the entry
+	}
 
 	// Refresh or coalesce into an existing entry.
 	for _, si := range probe {

@@ -546,3 +546,75 @@ func TestRandomReplacementBounded(t *testing.T) {
 		}
 	}
 }
+
+func TestSetPartitionOverridesOwnedSets(t *testing.T) {
+	tl := partTLB(4) // 16 sets, equal split 4 each
+	tl.SetPartition([]int{0, 10, 12, 14, 16})
+	want := [][2]int{{0, 10}, {10, 12}, {12, 14}, {14, 16}}
+	for slot, w := range want {
+		lo, hi := tl.ownedSets(slot)
+		if lo != w[0] || hi != w[1] {
+			t.Errorf("slot %d owns [%d,%d), want [%d,%d)", slot, lo, hi, w[0], w[1])
+		}
+	}
+	if got := tl.Partition(); got == nil || got[1] != 10 {
+		t.Fatalf("Partition() = %v, want the installed bounds", got)
+	}
+	// nil restores the equal split.
+	tl.SetPartition(nil)
+	if lo, hi := tl.ownedSets(1); lo != 4 || hi != 8 {
+		t.Errorf("after SetPartition(nil) slot 1 owns [%d,%d), want [4,8)", lo, hi)
+	}
+}
+
+func TestSetPartitionLookupFollowsBounds(t *testing.T) {
+	tl := partTLB(2) // 16 sets: equal split 8+8
+	tl.Insert(0, 100, 1)
+	// Shrink slot 0 to a single set; its old entries may become unreachable
+	// (they live in sets it no longer probes), and slot 1 probes 15 sets.
+	tl.SetPartition([]int{0, 1, 16})
+	if _, _, probed := tl.Lookup(0, 200); probed != 1 {
+		t.Errorf("slot 0 probed %d sets, want 1", probed)
+	}
+	if _, _, probed := tl.Lookup(1, 200); probed != 15 {
+		t.Errorf("slot 1 probed %d sets, want 15", probed)
+	}
+	// Entries inserted under the new bounds hit under the new bounds.
+	tl.Insert(1, 300, 3)
+	if _, hit, _ := tl.Lookup(1, 300); !hit {
+		t.Error("slot 1 lost an entry inserted under the explicit partition")
+	}
+}
+
+func TestSetPartitionResetByConfigureSlots(t *testing.T) {
+	tl := partTLB(2)
+	tl.SetPartition([]int{0, 2, 16})
+	tl.ConfigureSlots(2)
+	if tl.Partition() != nil {
+		t.Fatal("ConfigureSlots kept the explicit partition")
+	}
+}
+
+func TestSetPartitionValidates(t *testing.T) {
+	tl := partTLB(2)
+	for _, bad := range [][]int{
+		{0, 16},            // wrong length
+		{1, 8, 16},         // does not start at 0
+		{0, 8, 15},         // does not end at Sets
+		{0, 20, 16},        // non-monotone interior bound
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetPartition(%v) did not panic", bad)
+				}
+			}()
+			tl.SetPartition(bad)
+		}()
+	}
+	// Zero-width slots are legal (an inactive tenant owns nothing).
+	tl.SetPartition([]int{0, 0, 16})
+	if lo, hi := tl.ownedSets(0); lo != hi {
+		t.Errorf("zero-width slot owns [%d,%d)", lo, hi)
+	}
+}
