@@ -17,14 +17,18 @@
 #   make controller-smoke run the tenant-churn grid (controller included)
 #                   end to end on the sharded engine under the race detector
 #   make fuzz       a short decoder fuzz run
-#   make golden     refresh the golden stats snapshot after an intentional
-#                   timing-model change (inspect the diff before committing)
+#   make golden     refresh the golden stats snapshots (serial and sliced)
+#                   after an intentional timing-model change (inspect the
+#                   diff before committing)
+#   make golden-update regenerate every golden pin in one command: the
+#                   serial and sliced golden stats snapshots plus the
+#                   BENCH_sim.json perf ledger
 #   make docs-lint  fail on undocumented exported identifiers and on
 #                   internal packages missing a doc.go package comment
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-json perf-smoke multi-smoke controller-smoke fuzz fuzz-seeds golden docs-lint ci
+.PHONY: all build vet test test-race bench bench-json perf-smoke multi-smoke controller-smoke fuzz fuzz-seeds golden golden-update docs-lint ci
 
 all: vet build test
 
@@ -59,17 +63,19 @@ perf-smoke:
 
 # multi-smoke exercises the multi-tenant path end to end at a small scale:
 # one benchmark pair across the full {TLB mode} x {SM assignment} grid, on
-# the sharded intra-cell engine under the race detector — the quick check
-# that the epoch-barrier protocol stays race-clean on the full tenancy grid.
+# the sharded intra-cell engine with the address-sliced barrier under the
+# race detector — the quick check that the epoch-barrier protocol and the
+# concurrent per-slice passes stay race-clean on the full tenancy grid.
 multi-smoke:
-	$(GO) run -race ./cmd/evaluate -fig multi -bench bfs,atax -scale 0.1 -cell-parallel 4
+	$(GO) run -race ./cmd/evaluate -fig multi -bench bfs,atax -scale 0.1 -cell-parallel 8 -l2-slices 4
 
 # controller-smoke exercises the closed-loop partitioning controller under
 # tenant churn end to end: every L2 TLB tenancy mode — the online controller
 # included — with mid-run arrivals through the bounded admission queue, on
-# the sharded intra-cell engine under the race detector.
+# the sharded intra-cell engine with the address-sliced barrier under the
+# race detector.
 controller-smoke:
-	$(GO) run -race ./cmd/evaluate -fig churn -bench bfs,atax -scale 0.1 -cell-parallel 4
+	$(GO) run -race ./cmd/evaluate -fig churn -bench bfs,atax -scale 0.1 -cell-parallel 8 -l2-slices 4
 
 fuzz:
 	$(GO) test -fuzz FuzzReadKernel -fuzztime 10s ./internal/trace/
@@ -79,8 +85,16 @@ fuzz:
 fuzz-seeds:
 	$(GO) test -run FuzzReadKernel ./internal/trace/
 
+# golden refreshes both stats snapshots: -run TestGoldenStats matches the
+# serial pin (TestGoldenStats) and the address-sliced pin
+# (TestGoldenStatsSliced) in one run.
 golden:
 	$(GO) test ./internal/experiments -run TestGoldenStats -update
+
+# golden-update regenerates every golden pin in one command: the serial and
+# sliced golden stats snapshots, then the BENCH_sim.json perf ledger's
+# "current" section on this machine.
+golden-update: golden bench-json
 
 # docs-lint layers cmd/doclint's conventions (documented exports in the
 # public package, doc.go in every internal package, package comments on

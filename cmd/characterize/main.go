@@ -38,6 +38,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload generation seed")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells (results are identical at any value)")
 		cellPar  = flag.Int("cell-parallel", 1, "intra-cell engine for the simulating figures: 1 = serial (golden-identical), N>=2 = sharded epoch-barrier engine with up to N workers per cell")
+		l2Slices = flag.Int("l2-slices", 4, "address slices for the sharded engine's barrier (bit-identical at any worker count for fixed K); ignored when -cell-parallel <= 1")
 		jsonOut  = flag.Bool("json", false, "emit the row structs as JSON instead of tables")
 		daemon   = flag.String("daemon", "", "submit the Figure 2 sweep to a gputlbd at this URL instead of simulating in-process")
 		out      cliutil.OutputFlags
@@ -68,7 +69,7 @@ func main() {
 		if *fig != "2" {
 			log.Fatalf("-daemon runs the simulating figure only; use -fig 2 (got -fig %s)", *fig)
 		}
-		rows, err := fig2ViaDaemon(*daemon, benchmarks, *scale, *seed, *cellPar)
+		rows, err := fig2ViaDaemon(*daemon, benchmarks, *scale, *seed, *cellPar, *l2Slices)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -86,6 +87,7 @@ func main() {
 	opt.Params.Seed = *seed
 	opt.Parallelism = *parallel
 	opt.CellParallel = *cellPar
+	opt.L2Slices = *l2Slices
 	opt.Benchmarks = benchmarks
 	opt.StatsDump = out.NewStatsDump()
 	opt.Tracer = out.NewTracer()
@@ -145,8 +147,11 @@ func main() {
 
 // fig2ViaDaemon runs the Figure 2 capacity sweep on a gputlbd and
 // reconstructs the rows from the job's cell results.
-func fig2ViaDaemon(baseURL string, benchmarks []string, scale float64, seed int64, cellParallel int) ([]gputlb.Fig2Row, error) {
+func fig2ViaDaemon(baseURL string, benchmarks []string, scale float64, seed int64, cellParallel, l2Slices int) ([]gputlb.Fig2Row, error) {
 	c := &jobs.Client{BaseURL: baseURL}
+	if cellParallel < 2 {
+		l2Slices = 0 // slicing is a property of the sharded barrier only
+	}
 	id, err := c.Submit(jobs.JobSpec{
 		Name:         "characterize-fig2",
 		Benchmarks:   benchmarks,
@@ -154,6 +159,7 @@ func fig2ViaDaemon(baseURL string, benchmarks []string, scale float64, seed int6
 		Scale:        scale,
 		Seed:         seed,
 		CellParallel: cellParallel,
+		L2Slices:     l2Slices,
 	})
 	if err != nil {
 		return nil, err

@@ -16,8 +16,11 @@ import (
 // reconstructs the figure rows from the returned cell results. The cells
 // are deterministic, so the daemon path renders exactly what an
 // in-process run would.
-func runViaDaemon(baseURL, fig string, benchmarks []string, scale float64, seed int64, cellParallel int, objective string, jsonOut bool) error {
+func runViaDaemon(baseURL, fig string, benchmarks []string, scale float64, seed int64, cellParallel, l2Slices int, objective string, jsonOut bool) error {
 	c := &jobs.Client{BaseURL: baseURL}
+	if cellParallel < 2 {
+		l2Slices = 0 // slicing is a property of the sharded barrier only
+	}
 	want := func(name string) bool { return fig == "all" || fig == name }
 	emit := func(name, table string, rows any) error {
 		if jsonOut {
@@ -40,6 +43,7 @@ func runViaDaemon(baseURL, fig string, benchmarks []string, scale float64, seed 
 			Scale:        scale,
 			Seed:         seed,
 			CellParallel: cellParallel,
+			L2Slices:     l2Slices,
 		})
 		if err != nil {
 			return nil, err
@@ -65,10 +69,10 @@ func runViaDaemon(baseURL, fig string, benchmarks []string, scale float64, seed 
 	}
 
 	if fig == "multi" {
-		return runMultiViaDaemon(c, benchmarks, scale, seed, cellParallel, emit)
+		return runMultiViaDaemon(c, benchmarks, scale, seed, cellParallel, l2Slices, emit)
 	}
 	if fig == "churn" {
-		return runChurnViaDaemon(c, benchmarks, scale, seed, cellParallel, objective, emit)
+		return runChurnViaDaemon(c, benchmarks, scale, seed, cellParallel, l2Slices, objective, emit)
 	}
 	supported := map[string]bool{"all": true, "10": true, "11": true, "12": true, "hugepage": true}
 	if !supported[fig] {
@@ -150,7 +154,7 @@ func runViaDaemon(baseURL, fig string, benchmarks []string, scale float64, seed 
 // MultiRow rows an in-process run would render. Both paths derive every
 // figure number from the same integer counters, so the output is
 // byte-identical.
-func runMultiViaDaemon(c *jobs.Client, benchmarks []string, scale float64, seed int64, cellParallel int, emit func(string, string, any) error) error {
+func runMultiViaDaemon(c *jobs.Client, benchmarks []string, scale float64, seed int64, cellParallel, l2Slices int, emit func(string, string, any) error) error {
 	benches := benchmarks
 	if len(benches) == 0 {
 		benches = gputlb.WorkloadNames()
@@ -163,11 +167,11 @@ func runMultiViaDaemon(c *jobs.Client, benchmarks []string, scale float64, seed 
 
 	var cells []jobs.CellSpec
 	for _, b := range benches {
-		cells = append(cells, jobs.CellSpec{Bench: b, Config: "baseline", Scale: scale, Seed: seed, CellParallel: cellParallel})
+		cells = append(cells, jobs.CellSpec{Bench: b, Config: "baseline", Scale: scale, Seed: seed, CellParallel: cellParallel, L2Slices: l2Slices})
 	}
 	for _, p := range pairs {
 		for _, cfg := range configs {
-			cells = append(cells, jobs.CellSpec{Tenants: p[:], Config: cfg, Scale: scale, Seed: seed, CellParallel: cellParallel})
+			cells = append(cells, jobs.CellSpec{Tenants: p[:], Config: cfg, Scale: scale, Seed: seed, CellParallel: cellParallel, L2Slices: l2Slices})
 		}
 	}
 	id, err := c.Submit(jobs.JobSpec{Name: "evaluate-multi", Cells: cells})
@@ -237,7 +241,7 @@ func churnConfigs() []string {
 // a solo "baseline" cell per benchmark, then every pair x tenancy-mode cell
 // with the grid's fixed arrival pattern — and reconstructs the same ChurnRow
 // rows an in-process run would render.
-func runChurnViaDaemon(c *jobs.Client, benchmarks []string, scale float64, seed int64, cellParallel int, objective string, emit func(string, string, any) error) error {
+func runChurnViaDaemon(c *jobs.Client, benchmarks []string, scale float64, seed int64, cellParallel, l2Slices int, objective string, emit func(string, string, any) error) error {
 	benches := benchmarks
 	if len(benches) == 0 {
 		benches = gputlb.WorkloadNames()
@@ -250,7 +254,7 @@ func runChurnViaDaemon(c *jobs.Client, benchmarks []string, scale float64, seed 
 
 	var cells []jobs.CellSpec
 	for _, b := range benches {
-		cells = append(cells, jobs.CellSpec{Bench: b, Config: "baseline", Scale: scale, Seed: seed, CellParallel: cellParallel})
+		cells = append(cells, jobs.CellSpec{Bench: b, Config: "baseline", Scale: scale, Seed: seed, CellParallel: cellParallel, L2Slices: l2Slices})
 	}
 	for _, p := range pairs {
 		for _, cfg := range configs {
@@ -260,6 +264,7 @@ func runChurnViaDaemon(c *jobs.Client, benchmarks []string, scale float64, seed 
 				Scale:        scale,
 				Seed:         seed,
 				CellParallel: cellParallel,
+				L2Slices:     l2Slices,
 				QueueCap:     experiments.ChurnQueueCap,
 				Arrivals: []jobs.ArrivalSpec{
 					{Bench: p[0], At: experiments.ChurnFirstArrival},

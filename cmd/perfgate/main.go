@@ -58,35 +58,50 @@ type PerInst struct {
 }
 
 // PerCellParallel is the sharded intra-cell engine's measurement: the
-// phase breakdown of one representative sharded run (bfs, baseline config,
-// golden scale) plus a serial-engine run of the same cell as the speedup
-// baseline.
+// phase breakdown of one representative sharded+sliced run (bfs, baseline
+// config, golden scale, the default 4 address slices) plus a serial-engine
+// run of the same cell as the speedup baseline.
 //
 // Two projections are recorded. ParallelFrac and Projected8Core come from
-// the deterministic event counts (shard-local events are the parallel
-// section; barrier ops and global events the serial one) — identical on
-// every machine, which is what lets a 1-core CI box gate the epoch-barrier
-// work split. TimeProjected8Core is the wall-clock Amdahl projection
-// against the measured serial engine, LegacySeconds/(Phase1/8+Barrier) —
-// machine-dependent, recorded on the reference machine for the ledger.
+// the deterministic event counts — identical on every machine, which is
+// what lets a 1-core CI box gate the epoch-barrier work split. The
+// parallel section is the shard-local events plus the barrier work the
+// address-sliced barrier runs concurrently (the K per-slice passes and the
+// per-shard SM passes); the serial section is the residual monolithic
+// barrier ops, the cross-slice serial tail and the global events.
+// Projected8Core applies Amdahl per phase: shard-local and SM-pass work
+// scale with the core count, slice passes with min(K, cores).
+// TimeProjected8Core is the wall-clock analogue against the measured
+// serial engine — machine-dependent, recorded on the reference machine
+// for the ledger.
 //
-// The projections sit near 2.1-2.7x rather than the ideal 8x because the
-// serial barrier replays every shared-memory-system transaction: on the
-// L2-bound golden workloads, roughly a third of all simulated work is L2
-// cache probes, crossbar port reservations and DRAM metering, whose
-// serial order is pinned by the committed golden stats. Raising the
-// ceiling needs an address-sliced L2 with per-partition barrier passes
-// (see DESIGN.md), which changes model semantics and golden stats.
+// Before address slicing the projections sat near 2.1-2.7x: the monolithic
+// barrier replayed every shared-memory-system transaction in one serial
+// merge. Slicing the L2 TLB, L2 cache, walker pools and DRAM channels into
+// K independent address slices turns that replay into K concurrent
+// passes, leaving only TB dispatch, controller ticks and global events
+// serial.
 type PerCellParallel struct {
-	LocalEvents        int64   `json:"local_events"`
-	BarrierOps         int64   `json:"barrier_ops"`
-	GlobalEvents       int64   `json:"global_events"`
-	Epochs             int64   `json:"epochs"`
+	LocalEvents  int64 `json:"local_events"`
+	BarrierOps   int64 `json:"barrier_ops"`
+	GlobalEvents int64 `json:"global_events"`
+	Epochs       int64 `json:"epochs"`
+	// L2Slices is the slice count K of the measured run; SlicedOps counts
+	// the barrier ops advanced inside the K concurrent per-slice passes
+	// (per slice in SliceOps), SMPassOps the ops applied by the concurrent
+	// per-shard SM passes, and SerialOps the cross-slice serial tail.
+	L2Slices           int     `json:"l2_slices"`
+	SlicedOps          int64   `json:"sliced_ops"`
+	SMPassOps          int64   `json:"sm_pass_ops"`
+	SerialOps          int64   `json:"serial_ops"`
+	SliceOps           []int64 `json:"slice_ops,omitempty"`
 	ParallelFrac       float64 `json:"parallel_fraction"`
 	Projected8Core     float64 `json:"projected_speedup_8core"`
 	LegacySeconds      float64 `json:"legacy_seconds"`
 	Phase1Seconds      float64 `json:"phase1_seconds"`
 	BarrierSeconds     float64 `json:"barrier_seconds"`
+	SlicePassSeconds   float64 `json:"slice_pass_seconds"`
+	SMPassSeconds      float64 `json:"sm_pass_seconds"`
 	TimeProjected8Core float64 `json:"time_projected_speedup_8core"`
 }
 
@@ -204,9 +219,11 @@ func runCheck(path string) error {
 		}
 	}
 	pcp := measurePerCellParallel()
-	fmt.Printf("cell-parallel: %.4f parallel fraction (%d local events, %d barrier ops, %d global), "+
+	fmt.Printf("cell-parallel: %.4f parallel fraction (%d local events, %d sliced ops over %d slices, "+
+		"%d SM-pass ops, %d serial ops, %d barrier ops, %d global), "+
 		"%.2fx count-projected / %.2fx time-projected on 8 cores\n",
-		pcp.ParallelFrac, pcp.LocalEvents, pcp.BarrierOps, pcp.GlobalEvents,
+		pcp.ParallelFrac, pcp.LocalEvents, pcp.SlicedOps, pcp.L2Slices,
+		pcp.SMPassOps, pcp.SerialOps, pcp.BarrierOps, pcp.GlobalEvents,
 		pcp.Projected8Core, pcp.TimeProjected8Core)
 	if pcp.ParallelFrac < minParallelFrac {
 		return fmt.Errorf("cell-parallel regression: parallel fraction %.4f below the %.2f floor — "+
@@ -222,15 +239,16 @@ func runCheck(path string) error {
 }
 
 // minProjected8Core and minParallelFrac are the CI floors for the sharded
-// engine's deterministic Amdahl projection and work split. Both are pinned
-// just under the measured values for the representative bfs cell (0.607
-// fraction, 2.13x projection): the gate exists to catch structural
-// regressions that shift work from the shards into the serial barrier, not
-// to enforce an aspiration the monolithic-L2 model cannot meet (see the
-// PerCellParallel doc comment for the ceiling analysis).
+// engine's deterministic Amdahl projection and work split, measured with
+// the address-sliced barrier at its default 4 slices. The sliced barrier
+// moves the L2 TLB/cache/walker/DRAM replay from one serial merge into K
+// concurrent per-slice passes, which lifts the representative bfs cell
+// well past the old monolithic ceiling (0.607 fraction, 2.13x projection);
+// the floors are pinned under the measured sliced values so any structural
+// regression that shifts work back into the serial section fails CI.
 const (
-	minProjected8Core = 2.0
-	minParallelFrac   = 0.55
+	minProjected8Core = 3.0
+	minParallelFrac   = 0.70
 )
 
 func measure(label string, skipSweep bool) Measurement {
@@ -250,9 +268,10 @@ func measure(label string, skipSweep bool) Measurement {
 
 // measurePerCellParallel runs the representative cell on both engines and
 // derives the projections described on PerCellParallel. The sharded run
-// uses two workers: the event counts are identical at every worker count,
-// and two workers keep the phase-1 wall clock close to the actual shard
-// work on small machines (more workers only add scheduler ping-pong there).
+// uses two workers and the default 4 address slices: the event counts are
+// identical at every worker count, and two workers keep the phase-1 wall
+// clock close to the actual shard work on small machines (more workers
+// only add scheduler ping-pong there).
 func measurePerCellParallel() PerCellParallel {
 	spec, ok := workloads.ByName("bfs")
 	if !ok {
@@ -273,15 +292,41 @@ func measurePerCellParallel() PerCellParallel {
 		log.Fatal(err)
 	}
 	s.SetCellParallel(2)
+	s.SetL2Slices(4)
 	s.Run()
 	p := s.Profile()
-	total := p.LocalEvents + p.BarrierOps + p.GlobalEvents
-	var frac float64
+	slices := s.L2Slices()
+
+	// Deterministic work split. Parallel: shard-local events plus the
+	// barrier ops the sliced barrier advances concurrently (slice passes
+	// scale with min(K, cores), SM passes with the shard count). Serial:
+	// residual monolithic barrier ops, the cross-slice tail and globals.
+	parallelOps := p.LocalEvents + p.SlicedOps + p.SMPassOps
+	serialOps := p.BarrierOps + p.SerialOps + p.GlobalEvents
+	total := parallelOps + serialOps
+	var frac, proj float64
 	if total > 0 {
-		frac = float64(p.LocalEvents) / float64(total)
+		frac = float64(parallelOps) / float64(total)
+		sliceWays := float64(min(slices, 8))
+		denom := float64(serialOps)/float64(total) +
+			float64(p.LocalEvents)/float64(total)/8 +
+			float64(p.SlicedOps)/float64(total)/sliceWays +
+			float64(p.SMPassOps)/float64(total)/8
+		if denom > 0 {
+			proj = 1 / denom
+		}
 	}
+
+	// Wall-clock analogue: phase 1 and the SM passes scale with the core
+	// count, the slice passes with min(K, cores); the rest of the barrier
+	// stays serial.
 	var timeProj float64
-	if denom := p.Phase1Seconds/8 + p.BarrierSeconds; denom > 0 {
+	serialBarrier := p.BarrierSeconds - p.SlicePassSeconds - p.SMPassSeconds
+	if serialBarrier < 0 {
+		serialBarrier = 0
+	}
+	if denom := p.Phase1Seconds/8 + p.SlicePassSeconds/float64(min(slices, 8)) +
+		p.SMPassSeconds/8 + serialBarrier; denom > 0 {
 		timeProj = legacySecs / denom
 	}
 	return PerCellParallel{
@@ -289,19 +334,20 @@ func measurePerCellParallel() PerCellParallel {
 		BarrierOps:         p.BarrierOps,
 		GlobalEvents:       p.GlobalEvents,
 		Epochs:             p.Epochs,
+		L2Slices:           slices,
+		SlicedOps:          p.SlicedOps,
+		SMPassOps:          p.SMPassOps,
+		SerialOps:          p.SerialOps,
+		SliceOps:           p.SliceOps,
 		ParallelFrac:       frac,
-		Projected8Core:     amdahl(frac, 8),
+		Projected8Core:     proj,
 		LegacySeconds:      legacySecs,
 		Phase1Seconds:      p.Phase1Seconds,
 		BarrierSeconds:     p.BarrierSeconds,
+		SlicePassSeconds:   p.SlicePassSeconds,
+		SMPassSeconds:      p.SMPassSeconds,
 		TimeProjected8Core: timeProj,
 	}
-}
-
-// amdahl is the classic projection: speedup on n cores with parallel
-// fraction f of the work.
-func amdahl(f float64, n float64) float64 {
-	return 1 / ((1 - f) + f/n)
 }
 
 // measureEval times the full Figure 10/11 evaluate sweep at the given

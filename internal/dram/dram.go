@@ -19,13 +19,17 @@ type Config struct {
 
 // DRAM is the banked memory system. Bank occupancy uses an
 // order-insensitive window meter (the simulator discovers accesses out of
-// timestamp order). Not safe for concurrent use.
+// timestamp order). All mutable state — bank meters, open-row registers,
+// and the row-buffer counters — is per partition, so concurrent callers
+// are safe as long as no two of them ever touch the same partition (the
+// sliced barrier's per-slice passes own disjoint partition sets). Not
+// safe for unpartitioned concurrent use.
 type DRAM struct {
 	cfg     Config
 	meters  [][]noc.Meter // [partition][bank]
 	openRow [][]int64     // [partition][bank], -1 = closed
-	hits    int64
-	misses  int64
+	hits    []int64       // [partition]
+	misses  []int64       // [partition]
 }
 
 // New builds the memory system.
@@ -39,6 +43,8 @@ func New(cfg Config) *DRAM {
 	d := &DRAM{cfg: cfg}
 	d.meters = make([][]noc.Meter, cfg.Partitions)
 	d.openRow = make([][]int64, cfg.Partitions)
+	d.hits = make([]int64, cfg.Partitions)
+	d.misses = make([]int64, cfg.Partitions)
 	for p := range d.meters {
 		d.meters[p] = make([]noc.Meter, cfg.BanksPerPart)
 		d.openRow[p] = make([]int64, cfg.BanksPerPart)
@@ -48,6 +54,9 @@ func New(cfg Config) *DRAM {
 	}
 	return d
 }
+
+// Partitions returns the partition count.
+func (d *DRAM) Partitions() int { return d.cfg.Partitions }
 
 // Partition maps a line to its memory partition (address-interleaved).
 func (d *DRAM) Partition(line cache.LineAddr) int {
@@ -67,29 +76,42 @@ func (d *DRAM) Access(line cache.LineAddr, at engine.Cycle) engine.Cycle {
 	lat := engine.Cycle(d.cfg.RowMissCycles)
 	if d.openRow[part][bank] == row {
 		lat = engine.Cycle(d.cfg.RowHitCycles)
-		d.hits++
+		d.hits[part]++
 	} else {
 		d.openRow[part][bank] = row
-		d.misses++
+		d.misses[part]++
 	}
 	start := d.meters[part][bank].Reserve(at, int(lat))
 	return start + lat
 }
 
-// RowHits returns open-row hits; RowMisses returns activations.
-func (d *DRAM) RowHits() int64 { return d.hits }
+// RowHits returns open-row hits summed over all partitions.
+func (d *DRAM) RowHits() int64 {
+	var n int64
+	for _, v := range d.hits {
+		n += v
+	}
+	return n
+}
 
-// RowMisses returns the number of row activations.
-func (d *DRAM) RowMisses() int64 { return d.misses }
+// RowMisses returns the number of row activations summed over all
+// partitions.
+func (d *DRAM) RowMisses() int64 {
+	var n int64
+	for _, v := range d.misses {
+		n += v
+	}
+	return n
+}
 
 // RegisterStats registers the row-buffer counters into r; values are read
 // lazily at snapshot time.
 func (d *DRAM) RegisterStats(r *stats.Registry) {
-	r.CounterFunc("row_hits", func() int64 { return d.hits })
-	r.CounterFunc("row_misses", func() int64 { return d.misses })
+	r.CounterFunc("row_hits", d.RowHits)
+	r.CounterFunc("row_misses", d.RowMisses)
 	r.GaugeFunc("row_hit_rate", func() float64 {
-		if total := d.hits + d.misses; total > 0 {
-			return float64(d.hits) / float64(total)
+		if total := d.RowHits() + d.RowMisses(); total > 0 {
+			return float64(d.RowHits()) / float64(total)
 		}
 		return 0
 	})

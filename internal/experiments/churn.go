@@ -123,6 +123,7 @@ func ChurnGrid(opt Options) ([]ChurnRow, error) {
 		Base:         &cfg,
 		Params:       opt.Params,
 		CellParallel: opt.CellParallel,
+		L2Slices:     opt.L2Slices,
 		Control:      ctlCfg,
 	}
 	results, err := parallel.Map(opt.ctx(), opt.pool(), len(cells),

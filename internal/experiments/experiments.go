@@ -51,6 +51,12 @@ type Options struct {
 	// differ slightly from the serial engine's (a different — equally
 	// deterministic — serialization of shared-resource requests).
 	CellParallel int
+	// L2Slices partitions the sharded engine's barrier into K independent
+	// address slices (sim.SetL2Slices); 0 or 1 keeps the monolithic
+	// barrier. Effective only with CellParallel >= 2, and — like the engine
+	// choice — K > 1 is its own deterministic serialization: comparisons
+	// must hold both CellParallel (serial vs sharded) and L2Slices fixed.
+	L2Slices int
 	// Objective overrides the partitioning controller's optimization
 	// objective for controller-mode cells ("ws", "fairness", "maxmin");
 	// empty keeps the default weighted-speedup objective. Ignored by cells
@@ -201,6 +207,7 @@ func (o Options) runCells(cells []simCell) ([]sim.Result, error) {
 			}
 			s.SetTracer(o.Tracer, i)
 			s.SetCellParallel(o.CellParallel)
+			s.SetL2Slices(o.L2Slices)
 			return s.Run(), nil
 		})
 	if err != nil {

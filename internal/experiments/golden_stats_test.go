@@ -25,6 +25,12 @@ func goldenStatsJSON(t *testing.T, parallelism int) []byte {
 
 // goldenStatsJSONCell additionally selects the intra-cell engine.
 func goldenStatsJSONCell(t *testing.T, parallelism, cellParallel int) []byte {
+	return goldenStatsJSONSliced(t, parallelism, cellParallel, 1)
+}
+
+// goldenStatsJSONSliced additionally selects the barrier's address-slice
+// count (effective only on the sharded engine).
+func goldenStatsJSONSliced(t *testing.T, parallelism, cellParallel, l2Slices int) []byte {
 	t.Helper()
 	dump := &StatsDump{}
 	opt := Options{
@@ -32,6 +38,7 @@ func goldenStatsJSONCell(t *testing.T, parallelism, cellParallel int) []byte {
 		Benchmarks:   goldenBenchmarks,
 		Parallelism:  parallelism,
 		CellParallel: cellParallel,
+		L2Slices:     l2Slices,
 		StatsDump:    dump,
 	}
 	specs, err := opt.specs()
@@ -98,6 +105,39 @@ func TestGoldenStatsCellParallelSharded(t *testing.T) {
 	eight := goldenStatsJSONCell(t, 4, 8)
 	if !bytes.Equal(two, eight) {
 		t.Errorf("sharded stats dump differs across cell-parallel worker counts (first difference at byte %d)", firstDiff(two, eight))
+	}
+}
+
+// TestGoldenStatsSliced locks the address-sliced barrier's serialization
+// (sharded engine, 4 slices) against testdata/golden_stats_sliced.json.
+// K > 1 partitions the L2 TLB/cache sets, walker pools and DRAM channels
+// per address slice, so its stats legitimately differ from the serial
+// goldens — but they are a deterministic model of their own, bit-identical
+// at every worker count, and this pin catches unintended shifts in that
+// model. Refresh both pins with `make golden-update`.
+func TestGoldenStatsSliced(t *testing.T) {
+	got := goldenStatsJSONSliced(t, 1, 2, 4)
+	golden := filepath.Join("testdata", "golden_stats_sliced.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("sliced stats dump diverged from %s (%d vs %d bytes); first difference at byte %d — "+
+			"inspect the diff and rerun with -update if intentional",
+			golden, len(got), len(want), firstDiff(got, want))
+	}
+	eight := goldenStatsJSONSliced(t, 4, 8, 4)
+	if !bytes.Equal(got, eight) {
+		t.Errorf("sliced stats dump differs across cell-parallel worker counts (first difference at byte %d)", firstDiff(got, eight))
 	}
 }
 

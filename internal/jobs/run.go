@@ -69,6 +69,7 @@ func RunCell(c CellSpec) (CellResult, error) {
 		return CellResult{}, fmt.Errorf("%s [%s]: %w", c.Bench, c.Config, err)
 	}
 	s.SetCellParallel(c.CellParallel)
+	s.SetL2Slices(c.L2Slices)
 	r := s.Run()
 	return CellResult{
 		Bench:        c.Bench,
@@ -104,6 +105,7 @@ func runMultiCell(c CellSpec) (CellResult, error) {
 		SMPolicy:     assign,
 		TLBMode:      mode,
 		CellParallel: c.CellParallel,
+		L2Slices:     c.L2Slices,
 	}
 	if len(c.Arrivals) > 0 {
 		churn := &multi.Churn{QueueCap: c.QueueCap}

@@ -40,6 +40,12 @@ type CellSpec struct {
 	// goroutines. Sharded cells are bit-identical at every n >= 2, so the
 	// value is not part of the cell's identity beyond serial-vs-sharded.
 	CellParallel int `json:"cell_parallel,omitempty"`
+	// L2Slices requests K independent address slices for the sharded
+	// engine's barrier (sim.SetL2Slices). 0 or 1 keeps the monolithic
+	// barrier; effective only with CellParallel >= 2. K > 1 is a distinct
+	// legal serialization of the model, so the value IS part of the cell's
+	// identity (unlike the worker count).
+	L2Slices int `json:"l2_slices,omitempty"`
 	// Arrivals adds tenant churn to a multi-tenant cell: each listed
 	// benchmark arrives mid-run at its cycle, entering a free slot or the
 	// bounded admission queue. Requires a Tenants list.
@@ -75,9 +81,10 @@ type JobSpec struct {
 	// Scale and Seed apply to every expanded grid cell.
 	Scale float64 `json:"scale,omitempty"`
 	Seed  int64   `json:"seed,omitempty"`
-	// CellParallel applies to every expanded grid cell (CellSpec field of
-	// the same name).
+	// CellParallel and L2Slices apply to every expanded grid cell (CellSpec
+	// fields of the same names).
 	CellParallel int `json:"cell_parallel,omitempty"`
+	L2Slices     int `json:"l2_slices,omitempty"`
 	// Cells, when non-empty, is the explicit cell list and the grid
 	// fields above are ignored.
 	Cells []CellSpec `json:"cells,omitempty"`
@@ -194,7 +201,7 @@ func (s *JobSpec) Normalize() error {
 		}
 		for _, b := range benches {
 			for _, c := range s.Configs {
-				s.Cells = append(s.Cells, CellSpec{Bench: b, Config: c, Scale: s.Scale, Seed: s.Seed, CellParallel: s.CellParallel})
+				s.Cells = append(s.Cells, CellSpec{Bench: b, Config: c, Scale: s.Scale, Seed: s.Seed, CellParallel: s.CellParallel, L2Slices: s.L2Slices})
 			}
 		}
 		s.Benchmarks, s.Configs = nil, nil
@@ -206,6 +213,12 @@ func (s *JobSpec) Normalize() error {
 		}
 		if c.Seed == 0 {
 			c.Seed = 1
+		}
+		if c.L2Slices < 0 {
+			return fmt.Errorf("jobs: cell %d: negative l2_slices %d", i, c.L2Slices)
+		}
+		if c.L2Slices > 1 && c.CellParallel < 2 {
+			return fmt.Errorf("jobs: cell %d: l2_slices %d requires cell_parallel >= 2 (the sliced barrier is a sharded-engine feature)", i, c.L2Slices)
 		}
 		if len(c.Tenants) > 0 {
 			if len(c.Tenants) < 2 {
@@ -258,6 +271,6 @@ func (s *JobSpec) Normalize() error {
 			return fmt.Errorf("jobs: cell %d: unknown config %q (one of %v)", i, c.Config, ConfigNames())
 		}
 	}
-	s.Scale, s.Seed, s.CellParallel = 0, 0, 0
+	s.Scale, s.Seed, s.CellParallel, s.L2Slices = 0, 0, 0, 0
 	return nil
 }

@@ -92,6 +92,10 @@ type Options struct {
 	// engine; n >= 2 runs the sharded epoch-barrier engine with up to n
 	// worker goroutines (bit-identical across all n >= 2).
 	CellParallel int
+	// L2Slices partitions the sharded engine's barrier into K independent
+	// address slices (sim.SetL2Slices); 0 or 1 keeps the monolithic
+	// barrier. Effective only with CellParallel >= 2.
+	L2Slices int
 	// Control overrides the controller configuration under
 	// TLBControllerMode (nil means control.DefaultConfig()); ignored for
 	// the other modes.
@@ -188,6 +192,7 @@ func CoRun(benches []string, opt Options) (sim.Result, error) {
 		}
 	}
 	s.SetCellParallel(opt.CellParallel)
+	s.SetL2Slices(opt.L2Slices)
 	return s.Run(), nil
 }
 
@@ -203,6 +208,7 @@ func Solo(bench string, opt Options) (sim.Result, error) {
 		return sim.Result{}, err
 	}
 	s.SetCellParallel(opt.CellParallel)
+	s.SetL2Slices(opt.L2Slices)
 	return s.Run(), nil
 }
 

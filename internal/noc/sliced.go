@@ -1,0 +1,110 @@
+package noc
+
+import (
+	"gputlb/internal/engine"
+)
+
+// Sliced is the address-sliced crossbar used by the sliced barrier: each
+// (SM, slice) pair owns a private request ring and a private reply ring,
+// and each memory partition owns one request and one reply ring. Because
+// a partition belongs to exactly one slice (partition p is owned by slice
+// p mod K) and an SM-side ring is private to one slice, every ring is
+// touched by at most one concurrent slice pass — Traverse and Return are
+// race-free across slices without locks.
+//
+// Splitting each direction into its own ring is also a (slightly more
+// generous) interconnect model than the monolithic Crossbar's shared
+// per-endpoint port: requests no longer contend with replies for the same
+// window slots. That difference is part of the K>1 model documented in
+// DESIGN.md; K>1 results are compared against their own goldens, never
+// against the monolithic ones.
+type Sliced struct {
+	slices   int
+	latency  engine.Cycle
+	capacity uint16
+
+	smReq   []port  // [sm*slices + slice]
+	smReply []port  // [sm*slices + slice]
+	partReq []port  // [partition]
+	partRep []port  // [partition]
+	packets []int64 // per slice
+	stalls  []int64 // per slice
+}
+
+// NewSliced builds a sliced crossbar with the same latency/service model as
+// New, with per-slice SM-side rings for `slices` address slices.
+func NewSliced(numSMs, numPartitions, slices int, latency, service int) *Sliced {
+	if numSMs < 1 || numPartitions < 1 || slices < 1 {
+		panic("noc: need at least one port on each side and one slice")
+	}
+	if service < 1 {
+		service = 1
+	}
+	cap := (1 << windowBits) / service
+	if cap < 1 {
+		cap = 1
+	}
+	return &Sliced{
+		slices:   slices,
+		latency:  engine.Cycle(latency),
+		capacity: uint16(cap),
+		smReq:    make([]port, numSMs*slices),
+		smReply:  make([]port, numSMs*slices),
+		partReq:  make([]port, numPartitions),
+		partRep:  make([]port, numPartitions),
+		packets:  make([]int64, slices),
+		stalls:   make([]int64, slices),
+	}
+}
+
+// Traverse sends one request from SM sm through slice's request rings to
+// partition part at cycle at and returns its arrival time. part must be
+// owned by slice (part mod K == slice).
+func (x *Sliced) Traverse(sm, slice, part int, at engine.Cycle) engine.Cycle {
+	x.packets[slice]++
+	start := x.smReq[sm*x.slices+slice].reserve(at, x.capacity)
+	arrive := x.partReq[part].reserve(start+x.latency, x.capacity)
+	if arrive > at+x.latency {
+		x.stalls[slice]++
+	}
+	return arrive
+}
+
+// Return sends a reply from partition part back to SM sm through slice's
+// reply rings.
+func (x *Sliced) Return(part, sm, slice int, at engine.Cycle) engine.Cycle {
+	x.packets[slice]++
+	start := x.partRep[part].reserve(at, x.capacity)
+	arrive := x.smReply[sm*x.slices+slice].reserve(start+x.latency, x.capacity)
+	if arrive > at+x.latency {
+		x.stalls[slice]++
+	}
+	return arrive
+}
+
+// Packets returns the total traversal count across all slices.
+func (x *Sliced) Packets() int64 {
+	var n int64
+	for _, v := range x.packets {
+		n += v
+	}
+	return n
+}
+
+// Stalls returns the total number of requests delayed past the bare
+// latency across all slices.
+func (x *Sliced) Stalls() int64 {
+	var n int64
+	for _, v := range x.stalls {
+		n += v
+	}
+	return n
+}
+
+// AddCounts folds externally accumulated traffic (a sliced crossbar's
+// totals) into the monolithic crossbar's counters so the registered stats
+// tree reports combined traffic from one place.
+func (x *Crossbar) AddCounts(packets, stalls int64) {
+	x.packets += packets
+	x.stalls += stalls
+}

@@ -171,6 +171,9 @@ func (s *Simulator) applyAssignment(a control.Assignment) {
 	if s.l2Bounds != nil && a.SetBounds != nil {
 		copy(s.l2Bounds, a.SetBounds)
 		s.l2tlb.SetPartition(s.l2Bounds)
+		if s.sliceActive {
+			s.applySliceBounds()
+		}
 	}
 	for sl := range s.slotSMs {
 		if intsEqual(s.slotSMs[sl], a.SMs[sl]) {

@@ -49,6 +49,7 @@ type pendPage struct {
 	done    engine.Cycle
 	hit     bool         // resolved by an L1 TLB hit (VIPT: data access overlaps)
 	pending bool         // needs translateMiss at the barrier
+	fill    bool         // sliced barrier: slice pass resolved it, SM pass must fill the L1
 	t1      engine.Cycle // cycle the L1 lookup resolved (pending pages)
 }
 
@@ -57,6 +58,7 @@ type pendPage struct {
 type pendLine struct {
 	phys  cache.LineAddr
 	start engine.Cycle
+	done  engine.Cycle // sliced barrier: completion resolved by the owning slice pass
 }
 
 // pendingInst is one memory instruction whose completion depends on shared
@@ -169,6 +171,7 @@ type shardCtx struct {
 	tenants  []shardTenant
 
 	localEvents int64
+	smPassOps   int64 // ops this shard's sliced-barrier SM pass advanced
 	traceBuf    []shardTraceEv
 }
 
@@ -248,6 +251,17 @@ type ShardProfile struct {
 	GlobalEvents   int64
 	Phase1Seconds  float64
 	BarrierSeconds float64
+
+	// Sliced barrier (SetL2Slices > 1): ops applied inside the concurrent
+	// per-slice passes (per slice in SliceOps), ops advanced by the
+	// concurrent per-SM pass, and the serial tail's cross-slice ops. The
+	// monolithic barrier leaves these zero and counts under BarrierOps.
+	SlicedOps        int64
+	SMPassOps        int64
+	SerialOps        int64
+	SliceOps         []int64
+	SlicePassSeconds float64
+	SMPassSeconds    float64
 }
 
 // Profile returns the last sharded run's ShardProfile (zero value for
@@ -256,6 +270,14 @@ func (s *Simulator) Profile() ShardProfile {
 	p := s.profile
 	for _, sh := range s.shards {
 		p.LocalEvents += sh.localEvents
+		p.SMPassOps += sh.smPassOps
+	}
+	if len(s.slices) > 0 {
+		p.SliceOps = make([]int64, len(s.slices))
+		for i, sc := range s.slices {
+			p.SliceOps[i] = sc.ops
+			p.SlicedOps += sc.ops
+		}
 	}
 	return p
 }
@@ -277,9 +299,15 @@ func (s *Simulator) runSharded(workers int) Result {
 		s.shards[i] = sh
 	}
 	s.applyCursors = make([]int, len(s.shards))
+	if s.l2Slices > 1 {
+		s.buildSlices(workers)
+	}
 
 	runner := engine.NewEpochRunner(len(s.shards), workers, s.shardStep)
 	defer runner.Close()
+	if s.slicePool != nil {
+		defer s.slicePool.Close()
+	}
 
 	s.scheduleArrivals()
 	s.dispatch()
@@ -323,7 +351,11 @@ func (s *Simulator) runSharded(workers int) Result {
 		t0 := time.Now()
 		runner.RunEpoch(limit)
 		t1 := time.Now()
-		s.applyEpoch(limit)
+		if s.sliceActive {
+			s.applyEpochSliced(limit)
+		} else {
+			s.applyEpoch(limit)
+		}
 		t2 := time.Now()
 		s.profile.Epochs++
 		s.profile.Phase1Seconds += t1.Sub(t0).Seconds()
@@ -333,6 +365,7 @@ func (s *Simulator) runSharded(workers int) Result {
 		panic(fmt.Sprintf("sim: deadlock — %d of %d TBs finished", s.tbsDone, s.totalTBs))
 	}
 	s.foldShards()
+	s.foldSlices()
 	return s.result()
 }
 
@@ -358,21 +391,7 @@ func (s *Simulator) shardStep(i int, limit engine.Cycle) {
 // sequence) triples and the global queue, so it is identical at every
 // worker count and every epoch length.
 func (s *Simulator) applyEpoch(limit engine.Cycle) {
-	if s.tracer.Enabled() {
-		for _, sh := range s.shards {
-			for i := range sh.traceBuf {
-				ev := &sh.traceBuf[i]
-				if ev.complete {
-					s.tracer.Complete(s.tracePID, ev.tid, fmt.Sprintf("TB %d", ev.tb), "tb",
-						ev.ts, ev.dur, nil)
-				} else {
-					s.tracer.Instant(s.tracePID, ev.tid, "l1tlb_miss", "tlb",
-						ev.ts, map[string]int64{"vpn": ev.vpn})
-				}
-			}
-			sh.traceBuf = sh.traceBuf[:0]
-		}
-	}
+	s.flushShardTraces()
 	cur := s.applyCursors
 	h := s.applyHeap[:0]
 	for k, sh := range s.shards {
@@ -407,6 +426,27 @@ func (s *Simulator) applyEpoch(limit engine.Cycle) {
 	s.applyHeap = h[:0]
 	for _, sh := range s.shards {
 		sh.ops = sh.ops[:0]
+	}
+}
+
+// flushShardTraces drains the shards' buffered phase-1 trace events into
+// the tracer, in shard order. Shared by both barriers.
+func (s *Simulator) flushShardTraces() {
+	if !s.tracer.Enabled() {
+		return
+	}
+	for _, sh := range s.shards {
+		for i := range sh.traceBuf {
+			ev := &sh.traceBuf[i]
+			if ev.complete {
+				s.tracer.Complete(s.tracePID, ev.tid, fmt.Sprintf("TB %d", ev.tb), "tb",
+					ev.ts, ev.dur, nil)
+			} else {
+				s.tracer.Instant(s.tracePID, ev.tid, "l1tlb_miss", "tlb",
+					ev.ts, map[string]int64{"vpn": ev.vpn})
+			}
+		}
+		sh.traceBuf = sh.traceBuf[:0]
 	}
 }
 
@@ -883,13 +923,20 @@ func (s *Simulator) shardTranslate(tn *tenantState, sm *smState, slot int, vpn v
 	}
 	t1 := sh.clock + engine.Cycle(cost)
 	key := tenantKey(asid, vpn)
+	// The sliced barrier banks the MSHRs per (SM, slice): the owning slice
+	// pass writes only its bank, so phase-1 reads stay race-free.
+	inflight, pendingMiss := sm.inflight, sm.pendingMiss
+	if s.sliceActive {
+		bk := &sm.slMSHR[s.vpnSlice(vpn)]
+		inflight, pendingMiss = bk.inflight, bk.pendingMiss
+	}
 	if hit && ppn < pendingThreshold {
 		// The entry holds a real translation — but the fill only becomes
 		// visible when its walk returns to the SM, and the barrier may have
 		// rewritten the placeholder long before that cycle. The in-flight
 		// table (barrier-written, epoch-invariant) carries the return
 		// cycle: while it is in the future, this is a merge, not a hit.
-		if inf, ok := sm.inflight.get(key); ok && inf.done > sh.clock {
+		if inf, ok := inflight.get(key); ok && inf.done > sh.clock {
 			if s.tracer.Enabled() {
 				sh.traceBuf = append(sh.traceBuf, shardTraceEv{
 					tid: sm.id, vpn: int64(vpn), ts: int64(sh.clock),
@@ -918,7 +965,7 @@ func (s *Simulator) shardTranslate(tn *tenantState, sm *smState, slot int, vpn v
 	}
 	// Merge with an in-flight miss to the same page from this SM (MSHR).
 	// The table is only written at barriers, so phase-1 reads are safe.
-	if inf, ok := sm.inflight.get(key); ok && inf.done > sh.clock {
+	if inf, ok := inflight.get(key); ok && inf.done > sh.clock {
 		if t1 > inf.done {
 			st.stallWalk += int64(t1 - sh.clock)
 			return pendPage{vpn: vpn, ppn: inf.ppn, done: t1}
@@ -926,13 +973,13 @@ func (s *Simulator) shardTranslate(tn *tenantState, sm *smState, slot int, vpn v
 		st.stallWalk += int64(inf.done - sh.clock)
 		return pendPage{vpn: vpn, ppn: inf.ppn, done: inf.done}
 	}
-	if _, ok := sm.pendingMiss[key]; ok {
+	if _, ok := pendingMiss[key]; ok {
 		// The placeholder for an earlier same-epoch miss was evicted;
 		// still merge at the barrier rather than walking twice.
 		return pendPage{vpn: vpn, pending: true, t1: t1}
 	}
 	sm.l1tlb.InsertA(asid, slot, vpn, pendingBase) // victim write-back buffers an opEvict
-	sm.pendingMiss[key] = struct{}{}
+	pendingMiss[key] = struct{}{}
 	return pendPage{vpn: vpn, pending: true, t1: t1}
 }
 

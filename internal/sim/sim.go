@@ -177,6 +177,10 @@ type smState struct {
 	shard       *shardCtx
 	pendBuf     []pendPage
 	pendingMiss map[vm.VPN]struct{}
+	// slMSHR banks the translation MSHRs per address slice (sliced barrier
+	// only): phase 1 reads the bank owning the VPN, and only that slice's
+	// barrier pass ever writes it.
+	slMSHR []sliceMSHR
 }
 
 // Simulator runs one or more kernels to completion under one configuration.
@@ -265,6 +269,29 @@ type Simulator struct {
 	applyHeap     []mergeEntry
 	profile       ShardProfile
 	onApply       func(t engine.Cycle, shard int, seq int64)
+
+	// Sliced-barrier state (SetL2Slices > 1 with SetCellParallel >= 2):
+	// l2Slices is the requested count, kSlices the effective power-of-two
+	// count after geometry clamping, sliceActive gates the sliced barrier,
+	// slices the per-slice contexts, xslice the direction-split crossbar,
+	// slicePool the barrier's worker pool. l2opt keeps the L2 TLB options
+	// for sub-TLB construction; the remaining fields are reused barrier
+	// scratch (fence refs, TB-count projection, segment bounds, scaled
+	// partition bounds).
+	l2Slices    int
+	kSlices     int
+	sliceActive bool
+	sliceShift  uint
+	sliceBits   uint
+	slices      []*sliceCtx
+	xslice      *noc.Sliced
+	slicePool   *engine.Pool
+	l2opt       tlb.Options
+	finRefs     []finRef
+	projTB      []int
+	segStart    []int
+	segEnd      []int
+	subBounds   []int
 
 	// stats is the run's metric tree; every component registers into it at
 	// New time and the sim-owned counters below live in its "sim" root.
@@ -403,6 +430,7 @@ func NewMulti(cfg arch.Config, tenants []Tenant, mopt MultiOptions) (*Simulator,
 		s.l2Partitioned = true
 	}
 	s.l2tlb = tlb.New(cfg.L2TLB, l2opt)
+	s.l2opt = l2opt // sub-TLB construction for the sliced barrier
 	if s.l2Partitioned {
 		s.l2tlb.ConfigureSlots(s.numSlots)
 	}

@@ -26,11 +26,18 @@ const traceCapacity = 1 << 18
 // the run's Result, its full stats registry as canonical JSON, and — when
 // withTrace is set — the complete trace event stream as Chrome trace JSON.
 func Run(b Build, cellParallel int, epoch engine.Cycle, withTrace bool) (sim.Result, []byte, []byte, error) {
+	return RunSliced(b, cellParallel, 1, epoch, withTrace)
+}
+
+// RunSliced is Run with an explicit L2 slice count for the sharded engine's
+// sliced barrier (1 keeps the monolithic barrier and is identical to Run).
+func RunSliced(b Build, cellParallel, slices int, epoch engine.Cycle, withTrace bool) (sim.Result, []byte, []byte, error) {
 	s, err := b()
 	if err != nil {
 		return sim.Result{}, nil, nil, err
 	}
 	s.SetCellParallel(cellParallel)
+	s.SetL2Slices(slices)
 	if epoch > 0 {
 		s.SetEpochLength(epoch)
 	}
@@ -131,6 +138,58 @@ func CheckEpochInvariance(t testing.TB, b Build, cellParallel int, epochs []engi
 		}
 		if !bytes.Equal(got, want) {
 			t.Errorf("stats snapshot diverged: epoch=%d vs epoch=%d", e, epochs[0])
+		}
+	}
+}
+
+// SliceMatrix returns the stock L2 slice-count matrix for the sliced
+// barrier: 1 (monolithic) plus every power of two the default geometry
+// supports.
+func SliceMatrix() []int { return []int{1, 2, 4, 8} }
+
+// CheckSliceInvariance runs b at a fixed slice count across every
+// (cellParallel, epoch) combination and fails t unless all stats snapshots
+// — and, with withTrace, the trace streams — are byte-identical to the
+// first's. This is the sliced barrier's determinism property: for a fixed
+// K, the result is a pure function of the canonical op stream, independent
+// of worker count and epoch length. (Epoch overrides are skipped for the
+// trace comparison cells: traces are compared across workers only.)
+func CheckSliceInvariance(t testing.TB, b Build, slices int, workers []int, epochs []engine.Cycle, withTrace bool) {
+	t.Helper()
+	if workers == nil {
+		workers = WorkerMatrix()
+	}
+	if len(epochs) == 0 {
+		epochs = []engine.Cycle{0, 1, 7, 40}
+	}
+	_, wantStats, wantTrace, err := RunSliced(b, workers[0], slices, 0, withTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workers[1:] {
+		_, gotStats, gotTrace, err := RunSliced(b, w, slices, 0, withTrace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotStats, wantStats) {
+			t.Errorf("slices=%d: stats snapshot diverged: cellParallel=%d vs cellParallel=%d",
+				slices, w, workers[0])
+		}
+		if withTrace && !bytes.Equal(gotTrace, wantTrace) {
+			t.Errorf("slices=%d: trace stream diverged: cellParallel=%d vs cellParallel=%d",
+				slices, w, workers[0])
+		}
+	}
+	for _, e := range epochs {
+		if e == 0 {
+			continue
+		}
+		_, gotStats, _, err := RunSliced(b, workers[0], slices, e, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotStats, wantStats) {
+			t.Errorf("slices=%d: stats snapshot diverged: epoch=%d vs default", slices, e)
 		}
 	}
 }

@@ -1,0 +1,104 @@
+package simtest
+
+import (
+	"fmt"
+	"testing"
+
+	"gputlb/internal/arch"
+	"gputlb/internal/engine"
+	"gputlb/internal/multi"
+	"gputlb/internal/sched"
+)
+
+// TestSoloSliceMatrix: for every slice count the default geometry supports,
+// a solo run's stats snapshot — and trace stream — is byte-identical across
+// worker counts, and its stats are byte-identical across epoch lengths.
+// Each K is its own legal serialization: cells compare within a K, never
+// across two.
+func TestSoloSliceMatrix(t *testing.T) {
+	for _, k := range SliceMatrix() {
+		t.Run(fmt.Sprintf("slices=%d", k), func(t *testing.T) {
+			CheckSliceInvariance(t, soloBuild(t, "bfs", func(*arch.Config) {}), k, nil, nil, true)
+		})
+	}
+}
+
+// TestMultiTenantSliceMatrix: sliced-barrier invariance for a two-tenant
+// co-run under the dynamically partitioned L2 TLB — the mode where the
+// sub-TLBs carry scaled set partitions and per-slot sharing state.
+func TestMultiTenantSliceMatrix(t *testing.T) {
+	for _, k := range SliceMatrix() {
+		t.Run(fmt.Sprintf("slices=%d", k), func(t *testing.T) {
+			CheckSliceInvariance(t, multiBuild(t, multi.TLBDynamicMode, sched.AssignSpatial),
+				k, []int{2, 8}, []engine.Cycle{0, 7}, true)
+		})
+	}
+}
+
+// TestControllerSliceMatrix: controller cells — with and without tenant
+// churn — stay byte-identical across workers and epoch lengths under the
+// sliced barrier. Churn exercises the fence path: tenant completions
+// repartition the sub-TLBs mid-epoch, at their exact canonical positions.
+func TestControllerSliceMatrix(t *testing.T) {
+	for _, churn := range []bool{false, true} {
+		for _, k := range []int{2, 4} {
+			t.Run(fmt.Sprintf("churn=%v/slices=%d", churn, k), func(t *testing.T) {
+				CheckSliceInvariance(t, ctlBuild(t, churn), k, []int{2, 8}, []engine.Cycle{0, 1, 40}, true)
+			})
+		}
+	}
+}
+
+// TestSlicedModelInvariants: quantities fixed by the workload — not by
+// request ordering — agree between the serial engine and the sliced barrier
+// at every slice count: the slices change timing, never model structure.
+func TestSlicedModelInvariants(t *testing.T) {
+	b := soloBuild(t, "bfs", func(*arch.Config) {})
+	serial := runResult(t, b, 1, 0)
+	for _, k := range []int{2, 4, 8} {
+		r, _, _, err := RunSliced(b, 4, k, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.InstsIssued != serial.InstsIssued {
+			t.Errorf("slices=%d: InstsIssued %d != serial %d", k, r.InstsIssued, serial.InstsIssued)
+		}
+		if r.PageRequests != serial.PageRequests {
+			t.Errorf("slices=%d: PageRequests %d != serial %d", k, r.PageRequests, serial.PageRequests)
+		}
+		if r.LineRequests != serial.LineRequests {
+			t.Errorf("slices=%d: LineRequests %d != serial %d", k, r.LineRequests, serial.LineRequests)
+		}
+		if r.Faults != serial.Faults {
+			t.Errorf("slices=%d: Faults %d != serial %d", k, r.Faults, serial.Faults)
+		}
+		var tbs, serialTBs int
+		for _, n := range r.TBsPerSM {
+			tbs += n
+		}
+		for _, n := range serial.TBsPerSM {
+			serialTBs += n
+		}
+		if tbs != serialTBs {
+			t.Errorf("slices=%d: TBs %d != serial %d", k, tbs, serialTBs)
+		}
+	}
+}
+
+// TestSliceCountOneIsMonolithic: SetL2Slices(1) — and any request the
+// geometry clamps to 1 — runs the monolithic barrier, byte-identical to
+// never having called SetL2Slices.
+func TestSliceCountOneIsMonolithic(t *testing.T) {
+	b := soloBuild(t, "bfs", func(*arch.Config) {})
+	_, want, _, err := Run(b, 2, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, _, err := RunSliced(b, 2, 1, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("slices=1 diverged from the monolithic barrier")
+	}
+}

@@ -143,6 +143,21 @@ func (t *TLB) RegisterStats(r *stats.Registry) {
 // ResetStats zeroes the counters without touching contents.
 func (t *TLB) ResetStats() { t.stats = Stats{} }
 
+// AddStats folds externally accumulated counters (an address slice's
+// sub-TLB) into this TLB's stats so one registered stats node reports the
+// combined activity.
+func (t *TLB) AddStats(s Stats) {
+	t.stats.Accesses += s.Accesses
+	t.stats.Hits += s.Hits
+	t.stats.Misses += s.Misses
+	t.stats.ProbeSets += s.ProbeSets
+	t.stats.Evictions += s.Evictions
+	t.stats.Spills += s.Spills
+	t.stats.Coalesced += s.Coalesced
+	t.stats.FlagSets += s.FlagSets
+	t.stats.FlagResets += s.FlagResets
+}
+
 // ConfigureSlots sets the number of concurrent TB slots the owning SM runs
 // (determined at kernel launch from the TB resource needs). It resets the
 // sharing state but deliberately keeps TLB contents: TB ids are reused

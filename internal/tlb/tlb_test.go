@@ -598,10 +598,10 @@ func TestSetPartitionResetByConfigureSlots(t *testing.T) {
 func TestSetPartitionValidates(t *testing.T) {
 	tl := partTLB(2)
 	for _, bad := range [][]int{
-		{0, 16},            // wrong length
-		{1, 8, 16},         // does not start at 0
-		{0, 8, 15},         // does not end at Sets
-		{0, 20, 16},        // non-monotone interior bound
+		{0, 16},     // wrong length
+		{1, 8, 16},  // does not start at 0
+		{0, 8, 15},  // does not end at Sets
+		{0, 20, 16}, // non-monotone interior bound
 	} {
 		func() {
 			defer func() {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"gputlb/internal/stats"
 )
@@ -35,10 +36,16 @@ const Levels = 4
 // bitsPerLevel is the radix width of each level (512-entry tables).
 const bitsPerLevel = 9
 
-// pageTableNode is one 512-entry radix node.
+// pageTableNode is one 512-entry radix node. Interior links are atomic
+// pointers so concurrent walkers touching disjoint VPN ranges (the sliced
+// barrier's per-slice passes) can lazily create interior nodes without
+// locks: creation races are resolved by compare-and-swap, and the final
+// radix structure is identical regardless of who wins. Leaf entries stay
+// plain PPNs — every leaf element is only ever written by the one slice
+// that owns its VPN, so element-granular writes never race.
 type pageTableNode struct {
-	children [1 << bitsPerLevel]*pageTableNode // interior
-	leaves   [1 << bitsPerLevel]PPN            // leaf level, +1 encoded
+	children [1 << bitsPerLevel]atomic.Pointer[pageTableNode] // interior
+	leaves   [1 << bitsPerLevel]PPN                           // leaf level, +1 encoded
 }
 
 // PageTable is a four-level radix page table keyed by VPN. Huge (2MB) pages
@@ -49,7 +56,7 @@ type pageTableNode struct {
 type PageTable struct {
 	root      *pageTableNode
 	pageShift uint
-	mapped    int
+	mapped    atomic.Int64
 }
 
 // NewPageTable returns an empty table for the given page shift (12 for 4KB,
@@ -62,7 +69,7 @@ func NewPageTable(pageShift uint) *PageTable {
 func (pt *PageTable) PageShift() uint { return pt.pageShift }
 
 // Mapped returns the number of mapped pages.
-func (pt *PageTable) Mapped() int { return pt.mapped }
+func (pt *PageTable) Mapped() int { return int(pt.mapped.Load()) }
 
 // indices splits a VPN into per-level radix indices, most significant first.
 // For 2MB base pages only three levels index (the PT level is absorbed into
@@ -82,10 +89,12 @@ func (pt *PageTable) Map(vpn VPN, ppn PPN) error {
 	ix := indices(vpn)
 	n := pt.root
 	for l := 0; l < Levels-1; l++ {
-		child := n.children[ix[l]]
+		child := n.children[ix[l]].Load()
 		if child == nil {
 			child = &pageTableNode{}
-			n.children[ix[l]] = child
+			if !n.children[ix[l]].CompareAndSwap(nil, child) {
+				child = n.children[ix[l]].Load()
+			}
 		}
 		n = child
 	}
@@ -93,7 +102,7 @@ func (pt *PageTable) Map(vpn VPN, ppn PPN) error {
 		return fmt.Errorf("vm: VPN %#x already mapped", uint64(vpn))
 	}
 	n.leaves[ix[Levels-1]] = ppn + 1
-	pt.mapped++
+	pt.mapped.Add(1)
 	return nil
 }
 
@@ -102,7 +111,7 @@ func (pt *PageTable) Unmap(vpn VPN) error {
 	ix := indices(vpn)
 	n := pt.root
 	for l := 0; l < Levels-1; l++ {
-		n = n.children[ix[l]]
+		n = n.children[ix[l]].Load()
 		if n == nil {
 			return fmt.Errorf("vm: VPN %#x not mapped", uint64(vpn))
 		}
@@ -111,7 +120,7 @@ func (pt *PageTable) Unmap(vpn VPN) error {
 		return fmt.Errorf("vm: VPN %#x not mapped", uint64(vpn))
 	}
 	n.leaves[ix[Levels-1]] = 0
-	pt.mapped--
+	pt.mapped.Add(-1)
 	return nil
 }
 
@@ -128,7 +137,7 @@ func (pt *PageTable) Walk(vpn VPN) WalkResult {
 	ix := indices(vpn)
 	n := pt.root
 	for l := 0; l < Levels-1; l++ {
-		child := n.children[ix[l]]
+		child := n.children[ix[l]].Load()
 		if child == nil {
 			return WalkResult{Levels: l + 1}
 		}
@@ -151,6 +160,7 @@ func (pt *PageTable) Translate(vpn VPN) (PPN, bool) {
 // with per-allocation scatter, mimicking a fragmented physical space.
 type FrameAllocator struct {
 	next    PPN
+	base    PPN // first frame this allocator may hand out
 	rng     *rand.Rand
 	scatter int // 0 = contiguous; otherwise max random gap between frames
 }
@@ -159,7 +169,14 @@ type FrameAllocator struct {
 // reserved so a zero PPN never aliases a real frame). scatter > 0 adds a
 // random gap of up to scatter frames between consecutive allocations.
 func NewFrameAllocator(seed int64, scatter int) *FrameAllocator {
-	return &FrameAllocator{next: 1, rng: rand.New(rand.NewSource(seed)), scatter: scatter}
+	return newFrameAllocatorAt(1, seed, scatter)
+}
+
+// newFrameAllocatorAt returns an allocator bump-allocating from the given
+// base frame; per-slice allocators use disjoint bases so concurrent slices
+// never hand out overlapping frames.
+func newFrameAllocatorAt(base PPN, seed int64, scatter int) *FrameAllocator {
+	return &FrameAllocator{next: base, base: base, rng: rand.New(rand.NewSource(seed)), scatter: scatter}
 }
 
 // Alloc returns the next free physical frame.
@@ -181,7 +198,7 @@ func (a *FrameAllocator) AllocN(n int) PPN {
 
 // Allocated returns how many frame numbers have been consumed (including
 // scatter gaps).
-func (a *FrameAllocator) Allocated() uint64 { return uint64(a.next - 1) }
+func (a *FrameAllocator) Allocated() uint64 { return uint64(a.next - a.base) }
 
 // Region is a named virtual allocation (one data structure of a kernel).
 type Region struct {
@@ -199,14 +216,15 @@ func (r Region) Contains(a Addr) bool { return a >= r.Base && a < r.End() }
 // AddressSpace is a UVM virtual address space: a bump allocator for regions
 // plus a demand-paged page table.
 type AddressSpace struct {
-	pt        *PageTable
-	frames    *FrameAllocator
-	pageShift uint
-	seed      int64
-	scatter   int
-	nextVA    Addr
-	regions   []Region
-	faults    uint64
+	pt          *PageTable
+	frames      *FrameAllocator
+	sliceFrames []*FrameAllocator // per-slice allocators, set by ConfigureSlices
+	pageShift   uint
+	seed        int64
+	scatter     int
+	nextVA      Addr
+	regions     []Region
+	faults      atomic.Uint64
 }
 
 // regionAlign separates consecutive regions so distinct data structures
@@ -248,7 +266,7 @@ func (as *AddressSpace) PageShift() uint { return as.pageShift }
 func (as *AddressSpace) PageTable() *PageTable { return as.pt }
 
 // Faults returns the number of demand-paging faults taken so far.
-func (as *AddressSpace) Faults() uint64 { return as.faults }
+func (as *AddressSpace) Faults() uint64 { return as.faults.Load() }
 
 // Regions returns the allocated regions in allocation order.
 func (as *AddressSpace) Regions() []Region { return as.regions }
@@ -256,9 +274,15 @@ func (as *AddressSpace) Regions() []Region { return as.regions }
 // RegisterStats registers the address space's demand-paging counters into
 // r; values are read lazily at snapshot time.
 func (as *AddressSpace) RegisterStats(r *stats.Registry) {
-	r.CounterFunc("faults", func() int64 { return int64(as.faults) })
+	r.CounterFunc("faults", func() int64 { return int64(as.faults.Load()) })
 	r.CounterFunc("mapped_pages", func() int64 { return int64(as.pt.Mapped()) })
-	r.CounterFunc("frames_allocated", func() int64 { return int64(as.frames.Allocated()) })
+	r.CounterFunc("frames_allocated", func() int64 {
+		n := as.frames.Allocated()
+		for _, fa := range as.sliceFrames {
+			n += fa.Allocated()
+		}
+		return int64(n)
+	})
 	r.CounterFunc("regions", func() int64 { return int64(len(as.regions)) })
 }
 
@@ -292,10 +316,46 @@ func (as *AddressSpace) blockPages() int {
 	return BasicBlockPages
 }
 
+// sliceFrameBits positions per-slice frame-allocator bases 2^40 frames
+// apart: far enough that slice pools never collide over any simulated
+// footprint, yet well below the simulator's placeholder-PPN threshold.
+const sliceFrameBits = 40
+
+// ConfigureSlices equips the space with k per-slice frame allocators at
+// disjoint bases so TouchSlice can demand-page concurrently from each
+// slice. Slice s allocates frames from 1 + s<<sliceFrameBits with a
+// slice-salted scatter stream; the serial Touch allocator is untouched.
+// Reconfiguring with the same k is a no-op; the method is not safe to call
+// concurrently with TouchSlice.
+func (as *AddressSpace) ConfigureSlices(k int) {
+	if k < 1 || len(as.sliceFrames) == k {
+		return
+	}
+	as.sliceFrames = make([]*FrameAllocator, k)
+	for s := range as.sliceFrames {
+		base := PPN(1) + PPN(s)<<sliceFrameBits
+		as.sliceFrames[s] = newFrameAllocatorAt(base, as.seed+int64(s)+1, as.scatter)
+	}
+}
+
 // Touch resolves the page containing a, mapping its whole basic block on
 // first touch (UVM demand paging). It reports the PPN and whether this
 // access faulted.
 func (as *AddressSpace) Touch(a Addr) (PPN, bool) {
+	return as.touchFrom(a, as.frames)
+}
+
+// TouchSlice is Touch using slice s's frame allocator. Callers must route
+// every page of a basic block to the same slice (the block-aligned VPN
+// slicing the simulator uses guarantees this), which makes concurrent
+// TouchSlice calls for distinct slices race-free: they populate disjoint
+// leaf entries from disjoint frame pools, and interior radix nodes are
+// created with lock-free compare-and-swap.
+func (as *AddressSpace) TouchSlice(a Addr, s int) (PPN, bool) {
+	return as.touchFrom(a, as.sliceFrames[s])
+}
+
+func (as *AddressSpace) touchFrom(a Addr, frames *FrameAllocator) (PPN, bool) {
 	vpn := as.VPNOf(a)
 	if ppn, ok := as.pt.Translate(vpn); ok {
 		return ppn, false
@@ -304,7 +364,7 @@ func (as *AddressSpace) Touch(a Addr) (PPN, bool) {
 	// pages, skipping pages that are somehow already mapped.
 	n := VPN(as.blockPages())
 	base := vpn &^ (n - 1)
-	frame := as.frames.AllocN(int(n))
+	frame := frames.AllocN(int(n))
 	var out PPN
 	for off := VPN(0); off < n; off++ {
 		v := base + off
@@ -320,6 +380,6 @@ func (as *AddressSpace) Touch(a Addr) (PPN, bool) {
 			out = p
 		}
 	}
-	as.faults++
+	as.faults.Add(1)
 	return out, true
 }
