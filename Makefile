@@ -16,6 +16,10 @@
 #                   the interference reporting still hold together
 #   make controller-smoke run the tenant-churn grid (controller included)
 #                   end to end on the sharded engine under the race detector
+#   make fabric-smoke run the distributed-sweep drill under the race
+#                   detector: a coordinator with two in-process workers,
+#                   one killed mid-job, asserting the result file is
+#                   byte-identical to a single-daemon run
 #   make fuzz       a short decoder fuzz run
 #   make golden     refresh the golden stats snapshots (serial and sliced)
 #                   after an intentional timing-model change (inspect the
@@ -23,12 +27,13 @@
 #   make golden-update regenerate every golden pin in one command: the
 #                   serial and sliced golden stats snapshots plus the
 #                   BENCH_sim.json perf ledger
-#   make docs-lint  fail on undocumented exported identifiers and on
-#                   internal packages missing a doc.go package comment
+#   make docs-lint  fail on undocumented exported identifiers, internal
+#                   packages missing a doc.go package comment, and HTTP
+#                   routes missing from OPERATIONS.md
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-json perf-smoke multi-smoke controller-smoke fuzz fuzz-seeds golden golden-update docs-lint ci
+.PHONY: all build vet test test-race bench bench-json perf-smoke multi-smoke controller-smoke fabric-smoke fuzz fuzz-seeds golden golden-update docs-lint ci
 
 all: vet build test
 
@@ -76,6 +81,14 @@ multi-smoke:
 # race detector.
 controller-smoke:
 	$(GO) run -race ./cmd/evaluate -fig churn -bench bfs,atax -scale 0.1 -cell-parallel 8 -l2-slices 4
+
+# fabric-smoke is the distributed-sweep drill: coordinator + two
+# in-process workers over real HTTP, one worker killed mid-job (dispatch
+# failures, heartbeat expiry, re-dispatch of unacked cells), and the
+# survivor still delivers a result file byte-identical to a
+# single-daemon run — all under the race detector.
+fabric-smoke:
+	$(GO) test -race -count=1 -run TestFabricSmoke ./internal/fabric/
 
 fuzz:
 	$(GO) test -fuzz FuzzReadKernel -fuzztime 10s ./internal/trace/

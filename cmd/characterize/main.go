@@ -10,6 +10,10 @@
 //	characterize -fig 4       # intra-TB reuse only
 //	characterize -bench bfs,mvt -fig 5
 //	characterize -daemon http://localhost:8372 -fig 2   # simulate on a gputlbd
+//
+// The -daemon URL may equally point at a fabric coordinator (gputlbd
+// -coordinator): the /jobs API is identical and the distributed run's
+// result artifact is byte-identical to a single daemon's.
 package main
 
 import (
@@ -40,7 +44,7 @@ func main() {
 		cellPar  = flag.Int("cell-parallel", 1, "intra-cell engine for the simulating figures: 1 = serial (golden-identical), N>=2 = sharded epoch-barrier engine with up to N workers per cell")
 		l2Slices = flag.Int("l2-slices", 4, "address slices for the sharded engine's barrier (bit-identical at any worker count for fixed K); ignored when -cell-parallel <= 1")
 		jsonOut  = flag.Bool("json", false, "emit the row structs as JSON instead of tables")
-		daemon   = flag.String("daemon", "", "submit the Figure 2 sweep to a gputlbd at this URL instead of simulating in-process")
+		daemon   = flag.String("daemon", "", "submit the Figure 2 sweep to a gputlbd (or fabric coordinator — same API) at this URL instead of simulating in-process")
 		out      cliutil.OutputFlags
 	)
 	out.Register(flag.CommandLine)

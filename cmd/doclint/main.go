@@ -5,10 +5,17 @@
 //     carries a doc comment;
 //   - every internal package has a doc.go whose package comment explains
 //     the package's role;
-//   - every command has a package comment describing its usage.
+//   - every command has a package comment describing its usage;
+//   - every exported identifier in internal/fabric (the operator-facing
+//     distribution layer) carries a doc comment, same bar as the public
+//     package;
+//   - every HTTP route registered in code via HandleFunc("METHOD /path")
+//     appears verbatim in OPERATIONS.md, so the operator API reference
+//     cannot silently go stale.
 //
 // It exits non-zero listing each violation, so `make docs-lint` (and CI)
-// fail when an undocumented identifier or an uncommented package lands.
+// fail when an undocumented identifier, an uncommented package, or an
+// undocumented endpoint lands.
 //
 //	doclint [module-root]
 package main
@@ -18,9 +25,11 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -35,8 +44,12 @@ func main() {
 	}
 
 	lintPublicPackage(root, report)
+	// The fabric package is the operator-facing distribution layer; its
+	// exports are held to the public package's documentation bar.
+	lintPublicPackage(filepath.Join(root, "internal", "fabric"), report)
 	lintInternalPackages(filepath.Join(root, "internal"), report)
 	lintCommands(filepath.Join(root, "cmd"), report)
+	lintRegisteredRoutes(root, report)
 
 	sort.Strings(problems)
 	for _, p := range problems {
@@ -148,6 +161,60 @@ func lintInternalPackages(dir string, report func(string, ...any)) {
 			report("%s: doc.go has no package comment", docPath)
 		} else if !strings.HasPrefix(f.Doc.Text(), "Package "+f.Name.Name) {
 			report("%s: package comment must start with %q", docPath, "Package "+f.Name.Name)
+		}
+	}
+}
+
+// lintRegisteredRoutes cross-checks the served HTTP surface against the
+// operator reference: every route registered anywhere under internal/ or
+// cmd/ as a HandleFunc("METHOD /path") literal must appear verbatim in
+// OPERATIONS.md.
+func lintRegisteredRoutes(root string, report func(string, ...any)) {
+	ops, err := os.ReadFile(filepath.Join(root, "OPERATIONS.md"))
+	if err != nil {
+		report("%s: OPERATIONS.md (the endpoint reference) is unreadable: %v", root, err)
+		return
+	}
+	opsText := string(ops)
+	routes := map[string]token.Position{}
+	for _, sub := range []string{"internal", "cmd"} {
+		filepath.WalkDir(filepath.Join(root, sub), func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				return nil // build breakage is the compiler's problem
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "HandleFunc" {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				pattern, err := strconv.Unquote(lit.Value)
+				if err != nil || !strings.Contains(pattern, " /") {
+					return true // not a "METHOD /path" route pattern
+				}
+				if _, seen := routes[pattern]; !seen {
+					routes[pattern] = fset.Position(lit.Pos())
+				}
+				return true
+			})
+			return nil
+		})
+	}
+	for pattern, pos := range routes {
+		if !strings.Contains(opsText, pattern) {
+			report("%s: route %q is served but missing from OPERATIONS.md", pos, pattern)
 		}
 	}
 }

@@ -94,6 +94,50 @@ func TestLintCommands(t *testing.T) {
 	}
 }
 
+func TestLintRegisteredRoutes(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "OPERATIONS.md"), "## API\n\n`POST /jobs` submits a job.\n")
+	write(t, filepath.Join(dir, "internal", "srv", "srv.go"), `package srv
+
+import "net/http"
+
+func handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(http.ResponseWriter, *http.Request) {})
+	mux.HandleFunc("GET /undocumented", func(http.ResponseWriter, *http.Request) {})
+	return mux
+}
+`)
+	// Non-route HandleFunc patterns (no "METHOD /path" shape) are ignored.
+	write(t, filepath.Join(dir, "cmd", "tool", "main.go"), `// Command tool runs.
+package main
+
+import "net/http"
+
+func main() {
+	http.HandleFunc("/legacy-no-method", func(http.ResponseWriter, *http.Request) {})
+}
+`)
+	var problems []string
+	lintRegisteredRoutes(dir, func(f string, a ...any) {
+		problems = append(problems, applyf(f, a))
+	})
+	if len(problems) != 1 || !strings.Contains(problems[0], `"GET /undocumented"`) {
+		t.Fatalf("got %v, want exactly the undocumented route flagged", problems)
+	}
+}
+
+func TestLintRegisteredRoutesRequiresOperationsFile(t *testing.T) {
+	dir := t.TempDir()
+	var problems []string
+	lintRegisteredRoutes(dir, func(f string, a ...any) {
+		problems = append(problems, applyf(f, a))
+	})
+	if len(problems) != 1 || !strings.Contains(problems[0], "OPERATIONS.md") {
+		t.Fatalf("got %v, want a missing-OPERATIONS.md problem", problems)
+	}
+}
+
 // applyf renders a report call the way main does.
 func applyf(format string, args []any) string {
 	return fmt.Sprintf(format, args...)

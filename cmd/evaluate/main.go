@@ -11,6 +11,10 @@
 //	evaluate -fig multi -bench bfs,atax
 //	evaluate -fig ablations
 //	evaluate -daemon http://localhost:8372 -fig 11   # run on a gputlbd
+//
+// The -daemon URL may equally point at a fabric coordinator (gputlbd
+// -coordinator): the /jobs API is identical and the distributed run's
+// result artifact is byte-identical to a single daemon's.
 package main
 
 import (
@@ -40,7 +44,7 @@ func main() {
 		l2Slices  = flag.Int("l2-slices", 4, "address slices for the sharded engine's barrier (bit-identical at any worker count for fixed K); ignored when -cell-parallel <= 1")
 		jsonOut   = flag.Bool("json", false, "emit the row structs as JSON instead of tables")
 		objective = flag.String("objective", "", "partitioning-controller objective for controller cells: ws | fairness | maxmin (default ws)")
-		daemon    = flag.String("daemon", "", "submit the sweep to a gputlbd at this URL instead of running in-process (figs 10/11/12/hugepage/multi)")
+		daemon    = flag.String("daemon", "", "submit the sweep to a gputlbd (or fabric coordinator — same API) at this URL instead of running in-process (figs 10/11/12/hugepage/multi)")
 		out       cliutil.OutputFlags
 	)
 	out.Register(flag.CommandLine)

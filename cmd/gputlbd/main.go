@@ -1,21 +1,37 @@
-// Command gputlbd is the sweep daemon: an HTTP service that accepts
-// experiment-grid jobs (benchmark × configuration cells as JSON), runs
-// them on the bounded simulation pool, and journals every completed cell
-// so a killed daemon resumes with only the unfinished cells re-run.
+// Command gputlbd is the sweep daemon. It runs in one of three modes:
 //
-// Endpoints: POST /jobs, GET /jobs, GET /jobs/{id}, GET /jobs/{id}/result,
-// GET /healthz, GET /metrics. A full queue sheds submissions with 429.
-// SIGINT/SIGTERM drain gracefully: in-flight cells finish and journal,
-// the current job checkpoints, and the process exits; restart with the
-// same -journal-dir to resume.
+//   - default: the single-process daemon — an HTTP service that accepts
+//     experiment-grid jobs (benchmark × configuration cells as JSON),
+//     runs them on the bounded simulation pool, and journals every
+//     completed cell so a killed daemon resumes with only the
+//     unfinished cells re-run.
+//   - -coordinator: the fabric coordinator — serves the exact same
+//     /jobs API but executes nothing locally; cells are dispatched in
+//     batches to joined workers, with work-stealing from stragglers, a
+//     content-addressed result cache, and re-dispatch of unacknowledged
+//     cells when a worker dies. Results are byte-identical to the
+//     single-process daemon's.
+//   - -worker -join URL: a fabric worker — registers with a
+//     coordinator, heartbeats, accepts POST /cells batches, runs them
+//     through the same cell runner as the single-process daemon, and
+//     streams outcomes back through a size + max-wait batcher.
+//
+// Endpoints (default and -coordinator): POST /jobs, GET /jobs,
+// GET /jobs/{id}, GET /jobs/{id}/result, GET /healthz, GET /metrics;
+// the coordinator adds POST /workers, POST /workers/{id}/heartbeat,
+// GET /workers, POST /results. Workers serve POST /cells, GET /healthz,
+// GET /metrics. A full queue sheds submissions with 429.
+// SIGINT/SIGTERM drain gracefully; restart with the same -journal-dir
+// to resume. See OPERATIONS.md for the full API reference and runbook.
 //
 // Examples:
 //
 //	gputlbd -journal-dir /var/lib/gputlbd
+//	gputlbd -coordinator -addr :8372 -journal-dir /var/lib/gputlbd
+//	gputlbd -worker -join http://coord:8372 -addr :8380
 //	curl -s localhost:8372/jobs -d '{"name":"fig11","configs":["baseline","sched","sched+part","sched+part+share"]}'
-//	curl -s localhost:8372/jobs/job-0001
 //	curl -s localhost:8372/jobs/job-0001/result
-//	curl -s localhost:8372/metrics
+//	curl -s localhost:8372/workers
 package main
 
 import (
@@ -24,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"gputlb/internal/fabric"
 	"gputlb/internal/jobs"
 )
 
@@ -42,52 +60,139 @@ func main() {
 	var (
 		addr         = flag.String("addr", ":8372", "listen address")
 		journalDir   = flag.String("journal-dir", "gputlbd-journal", "directory for job journals and results (resume state)")
-		parallel     = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells within a job")
+		parallel     = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells within a job (default and -worker modes)")
 		queue        = flag.Int("queue", 16, "bounded job queue capacity; beyond it submissions get 429")
 		retries      = flag.Int("retries", 3, "max attempts per cell before it fails permanently")
 		retryBackoff = flag.Duration("retry-backoff", 100*time.Millisecond, "delay before a cell's first retry (doubles per attempt)")
-		cellTimeout  = flag.Duration("cell-timeout", 0, "per-cell attempt timeout (0 = none)")
+		cellTimeout  = flag.Duration("cell-timeout", 0, "per-cell attempt timeout (0 = none; default mode only)")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "max wait for in-flight cells to checkpoint on shutdown")
 		injectEvery  = flag.Int("inject-fail-every", 0, "resilience drill: fail every Nth cell attempt once (0 = off; never use in production)")
+
+		coordinator = flag.Bool("coordinator", false, "run as the fabric coordinator: dispatch cells to joined workers instead of simulating locally")
+		workerMode  = flag.Bool("worker", false, "run as a fabric worker: execute cell batches for the coordinator at -join")
+		join        = flag.String("join", "", "coordinator base URL to register with (-worker mode, required)")
+		advertise   = flag.String("advertise", "", "this worker's base URL as the coordinator reaches it (-worker mode; default http://127.0.0.1:<addr port>)")
+
+		batchSize    = flag.Int("batch-size", 4, "cells per dispatch batch (-coordinator mode)")
+		leaseTimeout = flag.Duration("lease-timeout", 10*time.Second, "silence after which a worker is dropped and its cells re-dispatched (-coordinator mode)")
+		stealAfter   = flag.Duration("steal-after", 2*time.Second, "lease age past which idle workers steal a copy of a straggler's cell (-coordinator mode)")
+		cacheCap     = flag.Int("cache-capacity", 4096, "content-addressed result cache capacity in cells (-coordinator mode)")
+		flushSize    = flag.Int("flush-size", 32, "result batch size that forces a flush to the coordinator (-worker mode)")
+		flushWait    = flag.Duration("flush-wait", 50*time.Millisecond, "max buffering delay before a result flush (-worker mode)")
+		heartbeat    = flag.Duration("heartbeat", time.Second, "worker heartbeat period; keep well under the coordinator's -lease-timeout (-worker mode)")
 	)
 	flag.Parse()
 
-	opt := jobs.Options{
-		Dir:           *journalDir,
-		QueueCapacity: *queue,
-		Parallelism:   *parallel,
-		MaxAttempts:   *retries,
-		RetryBackoff:  *retryBackoff,
-		CellTimeout:   *cellTimeout,
+	if *coordinator && *workerMode {
+		log.Fatal("-coordinator and -worker are mutually exclusive")
 	}
-	if *injectEvery > 0 {
+
+	injectHook := func() func(jobs.CellSpec, int) error {
+		if *injectEvery <= 0 {
+			return nil
+		}
 		var n atomic.Int64
 		every := int64(*injectEvery)
-		opt.InjectCellError = func(c jobs.CellSpec, attempt int) error {
+		log.Printf("fault injection armed: every %d cells fail their first attempt", every)
+		return func(c jobs.CellSpec, attempt int) error {
 			if attempt == 1 && n.Add(1)%every == 0 {
 				return fmt.Errorf("injected failure (drill, -inject-fail-every=%d)", every)
 			}
 			return nil
 		}
-		log.Printf("fault injection armed: every %d cells fail their first attempt", every)
 	}
 
-	m, err := jobs.New(opt)
-	if err != nil {
-		log.Fatal(err)
-	}
-	for _, st := range m.Jobs() {
-		if st.State == jobs.StateCheckpointed {
-			log.Printf("resuming %s (%d/%d cells checkpointed)", st.ID, st.CellsDone, st.Cells)
+	switch {
+	case *coordinator:
+		c, err := fabric.NewCoordinator(fabric.CoordinatorOptions{
+			Dir:           *journalDir,
+			QueueCapacity: *queue,
+			BatchSize:     *batchSize,
+			LeaseTimeout:  *leaseTimeout,
+			StealAfter:    *stealAfter,
+			CacheCapacity: *cacheCap,
+		})
+		if err != nil {
+			log.Fatal(err)
 		}
-	}
-	m.Start()
+		for _, st := range c.Jobs() {
+			if st.State == jobs.StateCheckpointed {
+				log.Printf("resuming %s (%d/%d cells checkpointed)", st.ID, st.CellsDone, st.Cells)
+			}
+		}
+		c.Start()
+		log.Printf("coordinator on %s (journal dir %s, batch %d, lease timeout %v, steal after %v)",
+			*addr, *journalDir, *batchSize, *leaseTimeout, *stealAfter)
+		serveUntilSignal(*addr, c.Handler(), *drainTimeout, func(ctx context.Context) error {
+			return c.Drain(ctx)
+		})
 
-	srv := &http.Server{Addr: *addr, Handler: m.Handler()}
+	case *workerMode:
+		if *join == "" {
+			log.Fatal("-worker requires -join <coordinator URL>")
+		}
+		adv := *advertise
+		if adv == "" {
+			_, port, err := net.SplitHostPort(*addr)
+			if err != nil {
+				log.Fatalf("-advertise required: cannot derive it from -addr %q: %v", *addr, err)
+			}
+			adv = "http://127.0.0.1:" + port
+		}
+		w := fabric.NewWorker(fabric.WorkerOptions{
+			CoordinatorURL:  *join,
+			AdvertiseURL:    adv,
+			Parallelism:     *parallel,
+			MaxAttempts:     *retries,
+			RetryBackoff:    *retryBackoff,
+			FlushSize:       *flushSize,
+			FlushWait:       *flushWait,
+			HeartbeatEvery:  *heartbeat,
+			InjectCellError: injectHook(),
+		})
+		if err := w.Start(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("worker %s on %s, joined %s as %s (%d runners)", adv, *addr, *join, w.ID(), *parallel)
+		serveUntilSignal(*addr, w.Handler(), *drainTimeout, func(context.Context) error {
+			w.Close() // finishes in-flight cells and flushes buffered results
+			return nil
+		})
+
+	default:
+		opt := jobs.Options{
+			Dir:             *journalDir,
+			QueueCapacity:   *queue,
+			Parallelism:     *parallel,
+			MaxAttempts:     *retries,
+			RetryBackoff:    *retryBackoff,
+			CellTimeout:     *cellTimeout,
+			InjectCellError: injectHook(),
+		}
+		m, err := jobs.New(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, st := range m.Jobs() {
+			if st.State == jobs.StateCheckpointed {
+				log.Printf("resuming %s (%d/%d cells checkpointed)", st.ID, st.CellsDone, st.Cells)
+			}
+		}
+		m.Start()
+		log.Printf("serving on %s (journal dir %s, %d-deep queue, %d workers)",
+			*addr, *journalDir, *queue, *parallel)
+		serveUntilSignal(*addr, m.Handler(), *drainTimeout, func(ctx context.Context) error {
+			return m.Drain(ctx)
+		})
+	}
+}
+
+// serveUntilSignal runs the HTTP server until SIGINT/SIGTERM, then shuts
+// the listener down and drains the mode's engine within drainTimeout.
+func serveUntilSignal(addr string, h http.Handler, drainTimeout time.Duration, drain func(context.Context) error) {
+	srv := &http.Server{Addr: addr, Handler: h}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("serving on %s (journal dir %s, %d-deep queue, %d workers)",
-		*addr, *journalDir, *queue, *parallel)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -101,12 +206,12 @@ func main() {
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
-	if err := m.Drain(ctx); err != nil {
+	if err := drain(ctx); err != nil {
 		log.Printf("drain: %v (journal still holds every completed cell)", err)
 		os.Exit(1)
 	}

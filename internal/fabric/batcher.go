@@ -1,0 +1,109 @@
+package fabric
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Batcher coalesces items into flushes triggered by size or age,
+// whichever comes first — the shape small cell results need on the wire:
+// a full batch flushes immediately, a lone straggler waits at most
+// MaxWait. Each Add returns a per-item channel that reports its batch's
+// flush outcome, so callers can couple to delivery without every item
+// paying its own round trip.
+type Batcher[T any] struct {
+	size    int
+	maxWait time.Duration
+	flush   func([]T) error
+
+	mu      sync.Mutex
+	items   []T
+	waiters []chan error
+	timer   *time.Timer
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// ErrBatcherClosed reports an Add after Close.
+var ErrBatcherClosed = errors.New("fabric: batcher closed")
+
+// NewBatcher creates a batcher flushing at size items or maxWait after
+// the oldest buffered item, whichever comes first. size <= 0 means 32;
+// maxWait <= 0 means 50ms. flush is called outside the batcher's lock
+// and may block (e.g. on HTTP retries); its error is delivered to every
+// item of the batch.
+func NewBatcher[T any](size int, maxWait time.Duration, flush func([]T) error) *Batcher[T] {
+	if size <= 0 {
+		size = 32
+	}
+	if maxWait <= 0 {
+		maxWait = 50 * time.Millisecond
+	}
+	return &Batcher[T]{size: size, maxWait: maxWait, flush: flush}
+}
+
+// Add buffers an item and returns the channel its batch outcome arrives
+// on (buffered; the batcher never blocks delivering it).
+func (b *Batcher[T]) Add(item T) <-chan error {
+	done := make(chan error, 1)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		done <- ErrBatcherClosed
+		return done
+	}
+	b.items = append(b.items, item)
+	b.waiters = append(b.waiters, done)
+	if len(b.items) >= b.size {
+		b.flushLocked()
+	} else if b.timer == nil {
+		b.timer = time.AfterFunc(b.maxWait, b.flushOnTimer)
+	}
+	b.mu.Unlock()
+	return done
+}
+
+func (b *Batcher[T]) flushOnTimer() {
+	b.mu.Lock()
+	b.flushLocked()
+	b.mu.Unlock()
+}
+
+// flushLocked hands the buffered batch to a flusher goroutine. Caller
+// holds b.mu; the flush callback itself runs unlocked so a slow or
+// retrying flush never blocks new Adds.
+func (b *Batcher[T]) flushLocked() {
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	if len(b.items) == 0 {
+		return
+	}
+	items, waiters := b.items, b.waiters
+	b.items, b.waiters = nil, nil
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		err := b.flush(items)
+		for _, w := range waiters {
+			w <- err
+		}
+	}()
+}
+
+// Close flushes any buffered items and waits for in-flight flushes to
+// finish. Subsequent Adds fail with ErrBatcherClosed.
+func (b *Batcher[T]) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.wg.Wait()
+		return
+	}
+	b.closed = true
+	b.flushLocked()
+	b.mu.Unlock()
+	b.wg.Wait()
+}

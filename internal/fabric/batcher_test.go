@@ -1,0 +1,136 @@
+package fabric
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectFlusher records flushed batches and optionally fails.
+type collectFlusher struct {
+	mu      sync.Mutex
+	batches [][]int
+	err     error
+}
+
+func (f *collectFlusher) flush(items []int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.batches = append(f.batches, append([]int(nil), items...))
+	return f.err
+}
+
+func (f *collectFlusher) snapshot() [][]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([][]int(nil), f.batches...)
+}
+
+func TestBatcherSizeFlush(t *testing.T) {
+	f := &collectFlusher{}
+	b := NewBatcher(3, time.Hour, f.flush) // maxWait effectively off
+	var waits []<-chan error
+	for i := 0; i < 3; i++ {
+		waits = append(waits, b.Add(i))
+	}
+	for i, w := range waits {
+		select {
+		case err := <-w:
+			if err != nil {
+				t.Fatalf("item %d: %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("item %d: size-triggered flush never fired", i)
+		}
+	}
+	got := f.snapshot()
+	if len(got) != 1 || len(got[0]) != 3 {
+		t.Errorf("batches = %v, want one batch of 3", got)
+	}
+	b.Close()
+}
+
+func TestBatcherMaxWaitFlush(t *testing.T) {
+	f := &collectFlusher{}
+	b := NewBatcher(1000, 20*time.Millisecond, f.flush)
+	w := b.Add(42)
+	start := time.Now()
+	select {
+	case err := <-w:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("max-wait flush never fired")
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("flushed after %v, before the max-wait window", elapsed)
+	}
+	b.Close()
+}
+
+func TestBatcherCloseFlushesRemainder(t *testing.T) {
+	f := &collectFlusher{}
+	b := NewBatcher(1000, time.Hour, f.flush)
+	w := b.Add(1)
+	b.Close()
+	select {
+	case err := <-w:
+		if err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatal("Close returned before delivering the flush outcome")
+	}
+	if got := f.snapshot(); len(got) != 1 {
+		t.Errorf("batches = %v, want the remainder flushed on close", got)
+	}
+	if err := <-b.Add(2); !errors.Is(err, ErrBatcherClosed) {
+		t.Errorf("Add after Close = %v, want ErrBatcherClosed", err)
+	}
+}
+
+func TestBatcherErrorReachesEveryItem(t *testing.T) {
+	boom := errors.New("boom")
+	f := &collectFlusher{err: boom}
+	b := NewBatcher(2, time.Hour, f.flush)
+	w1, w2 := b.Add(1), b.Add(2)
+	for i, w := range []<-chan error{w1, w2} {
+		select {
+		case err := <-w:
+			if !errors.Is(err, boom) {
+				t.Errorf("item %d: err = %v, want boom", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("item %d: no outcome", i)
+		}
+	}
+	b.Close()
+}
+
+// TestBatcherManyConcurrentAdds exercises the lock discipline under the
+// race detector: many producers, size- and time-triggered flushes
+// interleaving.
+func TestBatcherManyConcurrentAdds(t *testing.T) {
+	f := &collectFlusher{}
+	b := NewBatcher(8, time.Millisecond, f.flush)
+	var wg sync.WaitGroup
+	const n = 200
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-b.Add(i)
+		}(i)
+	}
+	wg.Wait()
+	b.Close()
+	total := 0
+	for _, batch := range f.snapshot() {
+		total += len(batch)
+	}
+	if total != n {
+		t.Errorf("flushed %d items, want %d", total, n)
+	}
+}

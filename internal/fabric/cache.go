@@ -1,0 +1,104 @@
+package fabric
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"gputlb/internal/jobs"
+	"gputlb/internal/stats"
+)
+
+// Cache is the coordinator's content-addressed result store: a bounded
+// LRU from CellKey to the completed CellResult. Overlapping grids across
+// jobs and users hit the cache instead of re-simulating; the canonical
+// key (hash.go) guarantees a hit is the byte-identical result the cell
+// would have produced.
+//
+// Only successful results are cached — a failed cell must re-run, not
+// replay its failure.
+type Cache struct {
+	mu  sync.Mutex
+	cap int
+	lru *list.List // front = most recently used; values are *cacheEntry
+	m   map[string]*list.Element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheEntry struct {
+	key string
+	res jobs.CellResult
+}
+
+// NewCache creates a cache bounded to capacity entries; capacity <= 0
+// means 4096.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Cache{cap: capacity, lru: list.New(), m: map[string]*list.Element{}}
+}
+
+// Register exposes the cache's hit/miss/eviction counters and occupancy
+// under r.
+func (c *Cache) Register(r *stats.Registry) {
+	r.CounterFunc("hits", c.hits.Load)
+	r.CounterFunc("misses", c.misses.Load)
+	r.CounterFunc("evictions", c.evictions.Load)
+	r.GaugeFunc("entries", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.m))
+	})
+}
+
+// Get returns the cached result for key, counting a hit or miss.
+func (c *Cache) Get(key string) (jobs.CellResult, bool) {
+	c.mu.Lock()
+	el, ok := c.m[key]
+	if ok {
+		c.lru.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return jobs.CellResult{}, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores a completed cell result under key, evicting the least
+// recently used entry when full. Idempotent: re-putting an existing key
+// refreshes its recency and overwrites the value.
+func (c *Cache) Put(key string, res jobs.CellResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.lru.PushFront(&cacheEntry{key: key, res: res})
+	if len(c.m) > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Stats returns the cumulative hit/miss/eviction counts.
+func (c *Cache) Stats() (hits, misses, evictions int64) {
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}

@@ -1,0 +1,66 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+
+	"gputlb/internal/jobs"
+	"gputlb/internal/stats"
+)
+
+func TestCacheHitMissEvict(t *testing.T) {
+	c := NewCache(2)
+	reg := stats.NewRegistry("test")
+	c.Register(reg.Child("result_cache"))
+
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", jobs.CellResult{Bench: "atax", Cycles: 1})
+	c.Put("b", jobs.CellResult{Bench: "bfs", Cycles: 2})
+	if res, ok := c.Get("a"); !ok || res.Cycles != 1 {
+		t.Fatalf("Get(a) = %+v, %v", res, ok)
+	}
+	// "b" is now least recently used; inserting "c" evicts it.
+	c.Put("c", jobs.CellResult{Bench: "mvt", Cycles: 3})
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU entry survived past capacity")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used entry was evicted")
+	}
+	hits, misses, evictions := c.Stats()
+	if hits != 2 || misses != 2 || evictions != 1 {
+		t.Errorf("stats = %d/%d/%d, want 2/2/1", hits, misses, evictions)
+	}
+	snap := reg.Snapshot()
+	if v, ok := snap.CounterAt("result_cache/evictions"); !ok || v != 1 {
+		t.Errorf("registry evictions = %d, %v", v, ok)
+	}
+	if v, ok := snap.GaugeAt("result_cache/entries"); !ok || v != 2 {
+		t.Errorf("registry entries = %v, %v", v, ok)
+	}
+}
+
+func TestCachePutIdempotent(t *testing.T) {
+	c := NewCache(4)
+	c.Put("k", jobs.CellResult{Cycles: 1})
+	c.Put("k", jobs.CellResult{Cycles: 1})
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after double put", c.Len())
+	}
+}
+
+func TestCacheBounded(t *testing.T) {
+	c := NewCache(8)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), jobs.CellResult{Cycles: int64(i)})
+	}
+	if c.Len() != 8 {
+		t.Errorf("Len = %d, want capacity 8", c.Len())
+	}
+	_, _, evictions := c.Stats()
+	if evictions != 92 {
+		t.Errorf("evictions = %d, want 92", evictions)
+	}
+}

@@ -16,6 +16,10 @@ import (
 // appends a record before it counts as done; a terminal record marks the
 // job done or failed. Loading tolerates a torn final line — the artifact
 // of a process killed mid-append — by dropping it.
+//
+// The journal API is exported so the fabric coordinator (internal/fabric)
+// journals distributed progress in the exact same format: a coordinator
+// journal resumes under a single-process manager and vice versa.
 
 const (
 	journalSuffix = ".journal"
@@ -34,29 +38,37 @@ type journalRecord struct {
 	Attempts int         `json:"attempts,omitempty"`
 	Result   *CellResult `json:"result,omitempty"`
 	Error    string      `json:"error,omitempty"`
+	// Worker attributes a cell outcome to the fabric worker (or "cache")
+	// that produced it; empty for single-process manager runs, keeping the
+	// legacy journal format byte-stable.
+	Worker string `json:"worker,omitempty"`
 	// End-record field: number of permanently failed cells.
 	Failed int `json:"failed,omitempty"`
 }
 
-// journal appends records to a job's JSONL file. Safe for concurrent
+// Journal appends records to a job's JSONL file. Safe for concurrent
 // appends; every append is flushed to the OS before returning so a
 // completed cell survives a process kill.
-type journal struct {
+type Journal struct {
 	mu sync.Mutex
 	f  *os.File
 }
 
-func journalPath(dir, id string) string { return filepath.Join(dir, id+journalSuffix) }
+// JournalPath returns the journal file path of job id under dir.
+func JournalPath(dir, id string) string { return filepath.Join(dir, id+journalSuffix) }
 
-func resultPath(dir, id string) string { return filepath.Join(dir, id+resultSuffix) }
+// ResultPath returns the result artifact path of job id under dir.
+func ResultPath(dir, id string) string { return filepath.Join(dir, id+resultSuffix) }
 
-// createJournal starts a new journal with its spec header record.
-func createJournal(dir, id, name string, spec *JobSpec) (*journal, error) {
-	f, err := os.OpenFile(journalPath(dir, id), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+// CreateJournal starts a new journal with its spec header record. The
+// spec must already be normalized; the header is what makes a resume
+// self-contained.
+func CreateJournal(dir, id, name string, spec *JobSpec) (*Journal, error) {
+	f, err := os.OpenFile(JournalPath(dir, id), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	j := &journal{f: f}
+	j := &Journal{f: f}
 	if err := j.append(journalRecord{Type: "spec", ID: id, Name: name, Spec: spec}); err != nil {
 		f.Close()
 		return nil, err
@@ -64,16 +76,16 @@ func createJournal(dir, id, name string, spec *JobSpec) (*journal, error) {
 	return j, nil
 }
 
-// openJournal reopens an existing journal for appending (resume).
-func openJournal(dir, id string) (*journal, error) {
-	f, err := os.OpenFile(journalPath(dir, id), os.O_APPEND|os.O_WRONLY, 0o644)
+// OpenJournal reopens an existing journal for appending (resume).
+func OpenJournal(dir, id string) (*Journal, error) {
+	f, err := os.OpenFile(JournalPath(dir, id), os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &journal{f: f}, nil
+	return &Journal{f: f}, nil
 }
 
-func (j *journal) append(rec journalRecord) error {
+func (j *Journal) append(rec journalRecord) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return err
@@ -87,46 +99,58 @@ func (j *journal) append(rec journalRecord) error {
 	return j.f.Sync()
 }
 
-func (j *journal) appendCell(idx, attempts int, res CellResult) error {
-	return j.append(journalRecord{Type: "cell", Index: idx, Attempts: attempts, Result: &res})
+// AppendCell records a completed cell. worker attributes the outcome to a
+// fabric worker id (or "cache" for a cache-served cell); pass "" from the
+// single-process manager.
+func (j *Journal) AppendCell(idx, attempts int, worker string, res CellResult) error {
+	return j.append(journalRecord{Type: "cell", Index: idx, Attempts: attempts, Worker: worker, Result: &res})
 }
 
-func (j *journal) appendFail(idx, attempts int, msg string) error {
-	return j.append(journalRecord{Type: "fail", Index: idx, Attempts: attempts, Error: msg})
+// AppendFail records a permanently failed cell.
+func (j *Journal) AppendFail(idx, attempts int, worker, msg string) error {
+	return j.append(journalRecord{Type: "fail", Index: idx, Attempts: attempts, Worker: worker, Error: msg})
 }
 
-func (j *journal) appendEnd(failed int) error {
+// AppendEnd records the terminal record: the job finished with the given
+// number of permanently failed cells (zero means done).
+func (j *Journal) AppendEnd(failed int) error {
 	return j.append(journalRecord{Type: "end", Failed: failed})
 }
 
-func (j *journal) Close() error {
+// Close releases the journal's file handle.
+func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.f.Close()
 }
 
-// journalState is a loaded journal: the job identity plus every durable
-// cell outcome. terminal reports whether an end record was seen (the job
-// finished — done or failed — and must not be resumed).
-type journalState struct {
-	id        string
-	name      string
-	spec      *JobSpec
-	completed map[int]CellResult
-	failed    map[int]string
-	terminal  bool
-	endFailed int
+// JournalState is a loaded journal: the job identity plus every durable
+// cell outcome.
+type JournalState struct {
+	// ID and Name identify the job; Spec is its normalized spec.
+	ID   string
+	Name string
+	Spec *JobSpec
+	// Completed maps cell index to the journaled result; Failed maps cell
+	// index to the permanent failure message.
+	Completed map[int]CellResult
+	Failed    map[int]string
+	// Terminal reports whether an end record was seen (the job finished —
+	// done or failed — and must not be resumed); EndFailed is that
+	// record's permanently-failed count.
+	Terminal  bool
+	EndFailed int
 }
 
-// loadJournal parses a job journal. A final line that does not parse is
+// LoadJournal parses a job journal. A final line that does not parse is
 // dropped (torn write from a kill); a malformed line elsewhere is an
 // error, as is a missing or invalid spec header.
-func loadJournal(path string) (*journalState, error) {
+func LoadJournal(path string) (*JournalState, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	st := &journalState{completed: map[int]CellResult{}, failed: map[int]string{}}
+	st := &JournalState{Completed: map[int]CellResult{}, Failed: map[int]string{}}
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
 	var lines [][]byte
@@ -155,40 +179,40 @@ func loadJournal(path string) (*journalState, error) {
 			if i != 0 {
 				return nil, fmt.Errorf("jobs: %s line %d: unexpected spec record", path, i+1)
 			}
-			st.id, st.name, st.spec = rec.ID, rec.Name, rec.Spec
+			st.ID, st.Name, st.Spec = rec.ID, rec.Name, rec.Spec
 		case "cell":
 			if rec.Result != nil {
-				st.completed[rec.Index] = *rec.Result
+				st.Completed[rec.Index] = *rec.Result
 			}
 		case "fail":
-			st.failed[rec.Index] = rec.Error
+			st.Failed[rec.Index] = rec.Error
 		case "end":
-			st.terminal = true
-			st.endFailed = rec.Failed
+			st.Terminal = true
+			st.EndFailed = rec.Failed
 		default:
 			return nil, fmt.Errorf("jobs: %s line %d: unknown record type %q", path, i+1, rec.Type)
 		}
 	}
-	if st.spec == nil || st.id == "" {
+	if st.Spec == nil || st.ID == "" {
 		return nil, fmt.Errorf("jobs: %s: missing spec header", path)
 	}
 	return st, nil
 }
 
-// scanJournals loads every journal in dir, sorted by file name (and
+// ScanJournals loads every journal in dir, sorted by file name (and
 // therefore by submission order, since IDs are zero-padded sequence
 // numbers). Unreadable journals are returned as errors, not dropped.
-func scanJournals(dir string) ([]*journalState, error) {
+func ScanJournals(dir string) ([]*JournalState, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	var states []*journalState
+	var states []*JournalState
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), journalSuffix) {
 			continue
 		}
-		st, err := loadJournal(filepath.Join(dir, e.Name()))
+		st, err := LoadJournal(filepath.Join(dir, e.Name()))
 		if err != nil {
 			return nil, err
 		}
@@ -197,9 +221,12 @@ func scanJournals(dir string) ([]*journalState, error) {
 	return states, nil
 }
 
-// encodeResult renders the canonical result artifact. The encoding is the
+// EncodeResult renders the canonical result artifact. The encoding is the
 // byte-identity contract: indented JSON of Result with a trailing newline.
-func encodeResult(res Result) ([]byte, error) {
+// Every execution path — in-process manager, resumed manager, fabric
+// coordinator — funnels through this one encoder, which is what makes
+// "byte-identical result file" a checkable property rather than a hope.
+func EncodeResult(res Result) ([]byte, error) {
 	out, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return nil, err

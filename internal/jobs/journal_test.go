@@ -23,56 +23,56 @@ func testSpec(t *testing.T) *JobSpec {
 func TestJournalRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	spec := testSpec(t)
-	j, err := createJournal(dir, "job-0001", "rt", spec)
+	j, err := CreateJournal(dir, "job-0001", "rt", spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	res := CellResult{Bench: "atax", Config: "baseline", Cycles: 123, L1TLBHitRate: 0.5}
-	if err := j.appendCell(0, 2, res); err != nil {
+	if err := j.AppendCell(0, 2, "", res); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.appendFail(1, 3, "boom"); err != nil {
+	if err := j.AppendFail(1, 3, "", "boom"); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	st, err := loadJournal(journalPath(dir, "job-0001"))
+	st, err := LoadJournal(JournalPath(dir, "job-0001"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.id != "job-0001" || st.name != "rt" {
-		t.Errorf("identity = %q/%q", st.id, st.name)
+	if st.ID != "job-0001" || st.Name != "rt" {
+		t.Errorf("identity = %q/%q", st.ID, st.Name)
 	}
-	if len(st.spec.Cells) != 2 {
-		t.Errorf("spec cells = %d, want 2", len(st.spec.Cells))
+	if len(st.Spec.Cells) != 2 {
+		t.Errorf("spec cells = %d, want 2", len(st.Spec.Cells))
 	}
-	if got := st.completed[0]; !reflect.DeepEqual(got, res) {
+	if got := st.Completed[0]; !reflect.DeepEqual(got, res) {
 		t.Errorf("completed[0] = %+v, want %+v", got, res)
 	}
-	if st.failed[1] != "boom" {
-		t.Errorf("failed[1] = %q", st.failed[1])
+	if st.Failed[1] != "boom" {
+		t.Errorf("failed[1] = %q", st.Failed[1])
 	}
-	if st.terminal {
+	if st.Terminal {
 		t.Error("journal without end record reported terminal")
 	}
 
 	// Reopen, finish, reload: now terminal.
-	j2, err := openJournal(dir, "job-0001")
+	j2, err := OpenJournal(dir, "job-0001")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j2.appendEnd(1); err != nil {
+	if err := j2.AppendEnd(1); err != nil {
 		t.Fatal(err)
 	}
 	j2.Close()
-	st, err = loadJournal(journalPath(dir, "job-0001"))
+	st, err = LoadJournal(JournalPath(dir, "job-0001"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !st.terminal || st.endFailed != 1 {
-		t.Errorf("terminal=%v endFailed=%d, want true/1", st.terminal, st.endFailed)
+	if !st.Terminal || st.EndFailed != 1 {
+		t.Errorf("terminal=%v endFailed=%d, want true/1", st.Terminal, st.EndFailed)
 	}
 }
 
@@ -82,16 +82,16 @@ func TestJournalRoundTrip(t *testing.T) {
 func TestJournalTornFinalLine(t *testing.T) {
 	dir := t.TempDir()
 	spec := testSpec(t)
-	j, err := createJournal(dir, "job-0001", "torn", spec)
+	j, err := CreateJournal(dir, "job-0001", "torn", spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j.appendCell(0, 1, CellResult{Bench: "atax", Config: "baseline", Cycles: 1}); err != nil {
+	if err := j.AppendCell(0, 1, "", CellResult{Bench: "atax", Config: "baseline", Cycles: 1}); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()
 
-	path := journalPath(dir, "job-0001")
+	path := JournalPath(dir, "job-0001")
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		t.Fatal(err)
@@ -101,14 +101,14 @@ func TestJournalTornFinalLine(t *testing.T) {
 	}
 	f.Close()
 
-	st, err := loadJournal(path)
+	st, err := LoadJournal(path)
 	if err != nil {
 		t.Fatalf("torn final line should load cleanly: %v", err)
 	}
-	if len(st.completed) != 1 {
-		t.Errorf("completed = %d cells, want 1 (torn record dropped)", len(st.completed))
+	if len(st.Completed) != 1 {
+		t.Errorf("completed = %d cells, want 1 (torn record dropped)", len(st.Completed))
 	}
-	if _, ok := st.completed[1]; ok {
+	if _, ok := st.Completed[1]; ok {
 		t.Error("torn cell record must not become durable")
 	}
 }
@@ -116,12 +116,12 @@ func TestJournalTornFinalLine(t *testing.T) {
 func TestJournalRejectsMidFileCorruption(t *testing.T) {
 	dir := t.TempDir()
 	spec := testSpec(t)
-	j, err := createJournal(dir, "job-0001", "corrupt", spec)
+	j, err := CreateJournal(dir, "job-0001", "corrupt", spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	j.Close()
-	path := journalPath(dir, "job-0001")
+	path := JournalPath(dir, "job-0001")
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -131,7 +131,7 @@ func TestJournalRejectsMidFileCorruption(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadJournal(path); err == nil || !strings.Contains(err.Error(), "line 2") {
+	if _, err := LoadJournal(path); err == nil || !strings.Contains(err.Error(), "line 2") {
 		t.Errorf("mid-file corruption should be an error naming the line, got %v", err)
 	}
 }

@@ -224,24 +224,24 @@ func New(opt Options) (*Manager, error) {
 	m.met.register(reg, func() int64 { return int64(len(m.queue)) })
 	workloads.RegisterCacheStats(reg.Child("trace_cache"))
 
-	states, err := scanJournals(opt.Dir)
+	states, err := ScanJournals(opt.Dir)
 	if err != nil {
 		return nil, err
 	}
 	for _, st := range states {
 		jb := &job{
-			id:        st.id,
-			name:      st.name,
-			spec:      st.spec,
-			completed: st.completed,
-			failed:    st.failed,
+			id:        st.ID,
+			name:      st.Name,
+			spec:      st.Spec,
+			completed: st.Completed,
+			failed:    st.Failed,
 		}
 		switch {
-		case st.terminal && st.endFailed == 0:
+		case st.Terminal && st.EndFailed == 0:
 			jb.state = StateDone
-		case st.terminal:
+		case st.Terminal:
 			jb.state = StateFailed
-			jb.err = fmt.Sprintf("%d cells failed permanently", st.endFailed)
+			jb.err = fmt.Sprintf("%d cells failed permanently", st.EndFailed)
 		default:
 			jb.state = StateCheckpointed
 			m.resumed = append(m.resumed, jb)
@@ -315,7 +315,7 @@ func (m *Manager) Submit(spec JobSpec) (string, error) {
 		return "", ErrQueueFull
 	}
 	id := fmt.Sprintf("job-%04d", m.seq+1)
-	j, err := createJournal(m.opt.Dir, id, spec.Name, &spec)
+	j, err := CreateJournal(m.opt.Dir, id, spec.Name, &spec)
 	if err != nil {
 		return "", err
 	}
@@ -343,7 +343,7 @@ func (m *Manager) Submit(spec JobSpec) (string, error) {
 func (m *Manager) runJob(jb *job) {
 	// The header record was written at submit (or by the run this journal
 	// is resuming); reopen for appends.
-	j, err := openJournal(m.opt.Dir, jb.id)
+	j, err := OpenJournal(m.opt.Dir, jb.id)
 	if err != nil {
 		jb.mu.Lock()
 		jb.state = StateFailed
@@ -386,12 +386,12 @@ func (m *Manager) runJob(jb *job) {
 				jb.mu.Lock()
 				jb.failed[idx] = cerr.Error()
 				jb.mu.Unlock()
-				if jerr := j.appendFail(idx, attempts, cerr.Error()); jerr != nil {
+				if jerr := j.AppendFail(idx, attempts, "", cerr.Error()); jerr != nil {
 					return struct{}{}, jerr
 				}
 				return struct{}{}, nil
 			}
-			if jerr := j.appendCell(idx, attempts, res); jerr != nil {
+			if jerr := j.AppendCell(idx, attempts, "", res); jerr != nil {
 				return struct{}{}, jerr
 			}
 			jb.mu.Lock()
@@ -424,7 +424,7 @@ func (m *Manager) runJob(jb *job) {
 	jb.mu.Lock()
 	nfailed := len(jb.failed)
 	jb.mu.Unlock()
-	if err := j.appendEnd(nfailed); err != nil {
+	if err := j.AppendEnd(nfailed); err != nil {
 		jb.mu.Lock()
 		jb.state = StateFailed
 		jb.err = err.Error()
@@ -521,15 +521,15 @@ func (m *Manager) writeResult(jb *job) error {
 		res.Cells[i] = jb.completed[i]
 	}
 	jb.mu.Unlock()
-	out, err := encodeResult(res)
+	out, err := EncodeResult(res)
 	if err != nil {
 		return err
 	}
-	tmp := resultPath(m.opt.Dir, jb.id) + ".tmp"
+	tmp := ResultPath(m.opt.Dir, jb.id) + ".tmp"
 	if err := os.WriteFile(tmp, out, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, resultPath(m.opt.Dir, jb.id))
+	return os.Rename(tmp, ResultPath(m.opt.Dir, jb.id))
 }
 
 // Job returns the status of one job.
@@ -572,7 +572,7 @@ func (m *Manager) Result(id string) ([]byte, error) {
 	if st := jb.status(); st.State != StateDone {
 		return nil, fmt.Errorf("%w: %s is %s", ErrNotDone, id, st.State)
 	}
-	return os.ReadFile(resultPath(m.opt.Dir, id))
+	return os.ReadFile(ResultPath(m.opt.Dir, id))
 }
 
 // Drain stops the manager gracefully: no new submissions, no new cells

@@ -364,6 +364,20 @@ func (s *Snapshot) CounterAt(path string) (int64, bool) {
 	return 0, false
 }
 
+// GaugeAt returns the gauge value at "child/.../name" beneath s.
+func (s *Snapshot) GaugeAt(path string) (float64, bool) {
+	node, name, ok := s.resolveParent(path)
+	if !ok {
+		return 0, false
+	}
+	for _, g := range node.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
 // HistogramAt returns the histogram summary at "child/.../name" beneath s.
 func (s *Snapshot) HistogramAt(path string) (HistogramValue, bool) {
 	node, name, ok := s.resolveParent(path)
