@@ -16,6 +16,10 @@
 #                   the interference reporting still hold together
 #   make controller-smoke run the tenant-churn grid (controller included)
 #                   end to end on the sharded engine under the race detector
+#   make mech-smoke run the translation-mechanism study (sub-entry sharing,
+#                   dead-entry prediction, contiguity-aware large-reach) end
+#                   to end on the sharded + sliced engine under the race
+#                   detector
 #   make fabric-smoke run the distributed-sweep drill under the race
 #                   detector: a coordinator with two in-process workers,
 #                   one killed mid-job, asserting the result file is
@@ -33,7 +37,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-json perf-smoke multi-smoke controller-smoke fabric-smoke fuzz fuzz-seeds golden golden-update docs-lint ci
+.PHONY: all build vet test test-race bench bench-json perf-smoke multi-smoke controller-smoke mech-smoke fabric-smoke fuzz fuzz-seeds golden golden-update docs-lint ci
 
 all: vet build test
 
@@ -82,6 +86,13 @@ multi-smoke:
 controller-smoke:
 	$(GO) run -race ./cmd/evaluate -fig churn -bench bfs,atax -scale 0.1 -cell-parallel 8 -l2-slices 4
 
+# mech-smoke exercises the pluggable translation mechanisms end to end: every
+# mechanism (base, subentry, deadblock, largereach + the contig allocator)
+# solo and on a shared-L2 co-run, through the evaluate CLI, on the sharded
+# intra-cell engine with the address-sliced barrier under the race detector.
+mech-smoke:
+	$(GO) run -race ./cmd/evaluate -fig mech -bench bfs,atax -scale 0.1 -cell-parallel 4 -l2-slices 2
+
 # fabric-smoke is the distributed-sweep drill: coordinator + two
 # in-process workers over real HTTP, one worker killed mid-job (dispatch
 # failures, heartbeat expiry, re-dispatch of unacked cells), and the
@@ -115,4 +126,4 @@ golden-update: golden bench-json
 docs-lint: vet
 	$(GO) run ./cmd/doclint .
 
-ci: vet build test-race fuzz-seeds docs-lint
+ci: vet build test-race fuzz-seeds docs-lint mech-smoke

@@ -74,9 +74,12 @@ func runViaDaemon(baseURL, fig string, benchmarks []string, scale float64, seed 
 	if fig == "churn" {
 		return runChurnViaDaemon(c, benchmarks, scale, seed, cellParallel, l2Slices, objective, emit)
 	}
+	if fig == "mech" {
+		return runMechViaDaemon(c, benchmarks, scale, seed, cellParallel, l2Slices, emit)
+	}
 	supported := map[string]bool{"all": true, "10": true, "11": true, "12": true, "hugepage": true}
 	if !supported[fig] {
-		return fmt.Errorf("-fig %s is analysis-local; only 10, 11, 12, hugepage, multi, churn (or all) run via -daemon", fig)
+		return fmt.Errorf("-fig %s is analysis-local; only 10, 11, 12, hugepage, multi, churn, mech (or all) run via -daemon", fig)
 	}
 
 	if want("10") || want("11") {
@@ -223,6 +226,112 @@ func runMultiViaDaemon(c *jobs.Client, benchmarks []string, scale float64, seed 
 		}
 	}
 	return emit("multi", gputlb.RenderMulti(rows), rows)
+}
+
+// mechAllocFor returns the cell-level alloc override paired with a
+// mechanism — the same pairing experiments.MechConfig applies in-process.
+func mechAllocFor(mech string) string {
+	if mech == "largereach" {
+		return "contig"
+	}
+	return ""
+}
+
+// runMechViaDaemon submits the translation-mechanism study as one explicit
+// cell list — a solo "baseline" cell per (benchmark, mechanism), then every
+// pair x mechanism cell on the fully shared L2 TLB at the spatial SM split
+// (MechMulti's fixed point) — and reconstructs the same MechRow/MechMultiRow
+// rows an in-process run would render.
+func runMechViaDaemon(c *jobs.Client, benchmarks []string, scale float64, seed int64, cellParallel, l2Slices int, emit func(string, string, any) error) error {
+	benches := benchmarks
+	if len(benches) == 0 {
+		benches = gputlb.WorkloadNames()
+	}
+	mechs := gputlb.MechNames()
+
+	var cells []jobs.CellSpec
+	for _, b := range benches {
+		for _, m := range mechs {
+			cells = append(cells, jobs.CellSpec{
+				Bench: b, Config: "baseline", Mech: m, Alloc: mechAllocFor(m),
+				Scale: scale, Seed: seed, CellParallel: cellParallel, L2Slices: l2Slices,
+			})
+		}
+	}
+	var pairs [][2]string
+	if len(benches) >= 2 {
+		pairs = gputlb.MultiPairs(benches)
+		for _, p := range pairs {
+			for _, m := range mechs {
+				cells = append(cells, jobs.CellSpec{
+					Tenants: p[:], Config: "multi-shared-spatial", Mech: m, Alloc: mechAllocFor(m),
+					Scale: scale, Seed: seed, CellParallel: cellParallel, L2Slices: l2Slices,
+				})
+			}
+		}
+	}
+	id, err := c.Submit(jobs.JobSpec{Name: "evaluate-mech", Cells: cells})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "evaluate: submitted evaluate-mech as %s; polling...\n", id)
+	st, err := c.Wait(context.Background(), id, 0)
+	if err != nil {
+		return err
+	}
+	if st.State != jobs.StateDone {
+		return fmt.Errorf("job %s %s: %s", id, st.State, st.Error)
+	}
+	res, err := c.Result(id)
+	if err != nil {
+		return err
+	}
+	if len(res.Cells) != len(cells) {
+		return fmt.Errorf("job %s returned %d cells, want %d", id, len(res.Cells), len(cells))
+	}
+
+	rows := make([]gputlb.MechRow, 0, len(benches)*len(mechs))
+	soloIPC := map[string]float64{}
+	for i, b := range benches {
+		base := res.Cells[i*len(mechs)] // mechs[0] is "base"
+		for j, m := range mechs {
+			cell := res.Cells[i*len(mechs)+j]
+			norm := 0.0
+			if base.Cycles > 0 {
+				norm = float64(cell.Cycles) / float64(base.Cycles)
+			}
+			if cell.Cycles > 0 {
+				soloIPC[b+"/"+m] = float64(cell.InstsIssued) / float64(cell.Cycles)
+			}
+			rows = append(rows, gputlb.MechRow{
+				Bench: b, Mech: m, NormTime: norm,
+				L1Hit: cell.L1TLBHitRate, L2Hit: cell.L2TLBHitRate,
+				Cycles: cell.Cycles,
+			})
+		}
+	}
+	if err := emit("mech", gputlb.RenderMechEval(rows), rows); err != nil {
+		return err
+	}
+	if len(pairs) == 0 {
+		return nil
+	}
+	mrows := make([]gputlb.MechMultiRow, 0, len(pairs)*len(mechs))
+	i := len(benches) * len(mechs)
+	for _, p := range pairs {
+		for _, m := range mechs {
+			cell := res.Cells[i]
+			i++
+			solo := [2]float64{soloIPC[p[0]+"/"+m], soloIPC[p[1]+"/"+m]}
+			mrows = append(mrows, gputlb.MechMultiRow{
+				Benches: p, Mech: m,
+				Tenants:         cell.Tenants,
+				SoloIPC:         solo,
+				WeightedSpeedup: gputlb.WeightedSpeedup(cell.Tenants, solo[:]),
+			})
+		}
+	}
+	return emit("mech-multi", gputlb.RenderMechMulti(mrows), mrows)
 }
 
 // churnConfigs are the daemon cell configs of the churn grid: the full L2

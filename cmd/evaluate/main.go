@@ -35,7 +35,7 @@ func main() {
 	log.SetPrefix("evaluate: ")
 
 	var (
-		fig       = flag.String("fig", "all", "what to produce: 10 | 11 | 12 | hugepage | multi | churn | ablations | warp | balance | seeds | all")
+		fig       = flag.String("fig", "all", "what to produce: 10 | 11 | 12 | hugepage | multi | churn | mech | ablations | warp | balance | seeds | all")
 		bench     = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
 		seed      = flag.Int64("seed", 1, "workload generation seed")
@@ -134,6 +134,22 @@ func main() {
 			log.Fatal(err)
 		}
 		emit("churn", gputlb.RenderChurn(rows), rows)
+	}
+	if *fig == "mech" {
+		// Not part of -fig all: the mechanism study spans benchmarks x
+		// mechanisms solo plus every pair x mechanism co-run.
+		rows, err := gputlb.MechEval(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("mech", gputlb.RenderMechEval(rows), rows)
+		if len(benchmarks) != 1 {
+			mrows, err := gputlb.MechMulti(opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			emit("mech-multi", gputlb.RenderMechMulti(mrows), mrows)
+		}
 	}
 	if *fig == "seeds" {
 		rows, err := gputlb.SeedSweep(opt, []int64{1, 2, 3})

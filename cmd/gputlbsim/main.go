@@ -34,6 +34,8 @@ func main() {
 		seed        = flag.Int64("seed", 1, "workload generation seed")
 		pagesize    = flag.String("pagesize", "4k", "page size: 4k | 2m")
 		compress    = flag.Bool("compress", false, "enable TLB compression (PACT'20 comparator)")
+		mech        = flag.String("mech", "", "translation mechanism for both TLB levels: base | subentry | deadblock | largereach (default base)")
+		alloc       = flag.String("alloc", "", "UVM frame allocation: firsttouch | contig (default firsttouch; contig feeds -mech largereach)")
 		l1entries   = flag.Int("l1entries", 64, "L1 TLB entries per SM")
 		printconfig = flag.Bool("printconfig", false, "print the Table III configuration and exit")
 		jsonOut     = flag.Bool("json", false, "emit results as JSON")
@@ -79,6 +81,12 @@ func main() {
 	}
 	cfg.L1TLB.Entries = *l1entries
 	cfg.TLBCompression = *compress
+	if *mech != "" {
+		cfg.TLBMech = *mech
+	}
+	if *alloc != "" {
+		cfg.AllocMode = *alloc
+	}
 
 	p := gputlb.DefaultParams()
 	p.Scale = *scale

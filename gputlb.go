@@ -341,6 +341,27 @@ var (
 	RenderChurn = experiments.RenderChurn
 )
 
+// MechRow and MechMultiRow are the solo and co-run cells of the
+// translation-mechanism evaluation.
+type (
+	MechRow      = experiments.MechRow
+	MechMultiRow = experiments.MechMultiRow
+)
+
+// MechEval/MechMulti run the translation-mechanism study (every benchmark
+// solo and every pair co-run under each mechanism); RenderMechEval and
+// RenderMechMulti format the tables with per-mechanism geomeans. MechNames
+// lists the mechanism axis and MechConfig builds the baseline configuration
+// running one mechanism.
+var (
+	MechEval        = experiments.MechEval
+	MechMulti       = experiments.MechMulti
+	RenderMechEval  = experiments.RenderMechEval
+	RenderMechMulti = experiments.RenderMechMulti
+	MechNames       = experiments.MechNames
+	MechConfig      = experiments.MechConfig
+)
+
 // SeedSweepRow is the per-seed robustness row.
 type SeedSweepRow = experiments.SeedSweepRow
 

@@ -258,6 +258,17 @@ type Config struct {
 	// distributed across the memory partitions); probes to one bank
 	// serialize.
 	L2TLBPorts int
+	// TLBMech names the pluggable translation mechanism both TLB levels
+	// run ("" or "base" for the baseline entry format; "subentry",
+	// "deadblock", "largereach"). Parsed and validated by the simulator
+	// against tlbmech's registry; incompatible with TLBCompression for
+	// non-base mechanisms.
+	TLBMech string
+	// AllocMode names the UVM frame-allocation policy ("" or "firsttouch"
+	// for fault-order bump allocation; "contig" for the
+	// contiguity-preserving positional allocator that feeds the largereach
+	// mechanism). Parsed by the simulator via vm.ParseAllocMode.
+	AllocMode string
 }
 
 // Default returns the Table III baseline configuration.

@@ -54,7 +54,7 @@ func CellKey(c jobs.CellSpec) string {
 	h := sha256.New()
 	// Version prefix: bump when the hashed field set changes, so stale
 	// persisted keys from older builds can never alias.
-	fmt.Fprintf(h, "gputlb-cell/v1\n")
+	fmt.Fprintf(h, "gputlb-cell/v2\n")
 	fmt.Fprintf(h, "bench=%q\n", c.Bench)
 	fmt.Fprintf(h, "config=%q\n", c.Config)
 	fmt.Fprintf(h, "tenants=%d\n", len(c.Tenants))
@@ -72,5 +72,7 @@ func CellKey(c jobs.CellSpec) string {
 	}
 	fmt.Fprintf(h, "queue_cap=%d\n", c.QueueCap)
 	fmt.Fprintf(h, "objective=%q\n", c.Objective)
+	fmt.Fprintf(h, "mech=%q\n", c.Mech)
+	fmt.Fprintf(h, "alloc=%q\n", c.Alloc)
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -136,6 +136,8 @@ func TestCellKeyIdentityFields(t *testing.T) {
 		"arrivals":   func(c *jobs.CellSpec) { c.Arrivals = []jobs.ArrivalSpec{{Bench: "mvt", At: 100}} },
 		"queue_cap":  func(c *jobs.CellSpec) { c.QueueCap = 3 },
 		"objective":  func(c *jobs.CellSpec) { c.Objective = "fairness" },
+		"mech":       func(c *jobs.CellSpec) { c.Mech = "subentry" },
+		"alloc":      func(c *jobs.CellSpec) { c.Alloc = "contig" },
 	}
 	for name, mutate := range mutations {
 		c := base

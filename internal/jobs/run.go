@@ -3,6 +3,7 @@ package jobs
 import (
 	"fmt"
 
+	"gputlb/internal/arch"
 	"gputlb/internal/control"
 	"gputlb/internal/experiments"
 	"gputlb/internal/multi"
@@ -38,6 +39,18 @@ type Result struct {
 	Cells []CellResult `json:"cells"`
 }
 
+// applyMechAlloc layers the cell's translation-mechanism and frame-
+// allocation overrides onto a named configuration; empty fields keep the
+// config's own values.
+func applyMechAlloc(cfg *arch.Config, c CellSpec) {
+	if c.Mech != "" {
+		cfg.TLBMech = c.Mech
+	}
+	if c.Alloc != "" {
+		cfg.AllocMode = c.Alloc
+	}
+}
+
 // RunCell executes one cell in-process: builds (or reuses the cached)
 // kernel trace for the benchmark and simulates it under the named
 // configuration. Cells with a Tenants list run as multi-tenant co-runs.
@@ -64,7 +77,9 @@ func RunCell(c CellSpec) (CellResult, error) {
 		p.PageShift = c.PageShift
 	}
 	k, as := workloads.Cached(spec, p)
-	s, err := sim.New(nc.build(), k, as)
+	cfg := nc.build()
+	applyMechAlloc(&cfg, c)
+	s, err := sim.New(cfg, k, as)
 	if err != nil {
 		return CellResult{}, fmt.Errorf("%s [%s]: %w", c.Bench, c.Config, err)
 	}
@@ -93,6 +108,7 @@ func runMultiCell(c CellSpec) (CellResult, error) {
 		return CellResult{}, fmt.Errorf("jobs: unknown multi config %q", c.Config)
 	}
 	cfg := experiments.BaselineConfig()
+	applyMechAlloc(&cfg, c)
 	p := workloads.DefaultParams()
 	p.Scale = c.Scale
 	p.Seed = c.Seed

@@ -10,6 +10,8 @@ import (
 	"gputlb/internal/experiments"
 	"gputlb/internal/multi"
 	"gputlb/internal/sched"
+	"gputlb/internal/tlbmech"
+	"gputlb/internal/vm"
 	"gputlb/internal/workloads"
 )
 
@@ -57,6 +59,14 @@ type CellSpec struct {
 	// objective ("ws", "fairness", "maxmin") for "multi-controller-*"
 	// cells; empty keeps the default. Ignored by other configs.
 	Objective string `json:"objective,omitempty"`
+	// Mech overrides the translation mechanism both TLB levels run ("base",
+	// "subentry", "deadblock", "largereach"); empty keeps the named
+	// config's mechanism. Part of the cell's identity.
+	Mech string `json:"mech,omitempty"`
+	// Alloc overrides the UVM frame-allocation policy ("firsttouch",
+	// "contig"); empty keeps the named config's policy. Part of the cell's
+	// identity.
+	Alloc string `json:"alloc,omitempty"`
 }
 
 // ArrivalSpec is one churn arrival of a multi-tenant cell.
@@ -219,6 +229,12 @@ func (s *JobSpec) Normalize() error {
 		}
 		if c.L2Slices > 1 && c.CellParallel < 2 {
 			return fmt.Errorf("jobs: cell %d: l2_slices %d requires cell_parallel >= 2 (the sliced barrier is a sharded-engine feature)", i, c.L2Slices)
+		}
+		if _, err := tlbmech.ParseSpec(c.Mech); err != nil {
+			return fmt.Errorf("jobs: cell %d: %w", i, err)
+		}
+		if _, err := vm.ParseAllocMode(c.Alloc); err != nil {
+			return fmt.Errorf("jobs: cell %d: %w", i, err)
 		}
 		if len(c.Tenants) > 0 {
 			if len(c.Tenants) < 2 {

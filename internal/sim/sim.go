@@ -12,6 +12,7 @@ import (
 	"gputlb/internal/sched"
 	"gputlb/internal/stats"
 	"gputlb/internal/tlb"
+	"gputlb/internal/tlbmech"
 	"gputlb/internal/trace"
 	"gputlb/internal/vm"
 )
@@ -338,6 +339,17 @@ func NewMulti(cfg arch.Config, tenants []Tenant, mopt MultiOptions) (*Simulator,
 	if err := validateChurn(cfg, len(tenants), mopt.Churn); err != nil {
 		return nil, err
 	}
+	mechSpec, err := tlbmech.ParseSpec(cfg.TLBMech)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if cfg.TLBCompression && mechSpec.Kind != "base" {
+		return nil, fmt.Errorf("sim: TLBCompression is a base-mechanism feature, incompatible with mech %q", mechSpec.Kind)
+	}
+	allocMode, err := vm.ParseAllocMode(cfg.AllocMode)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	s := &Simulator{
 		cfg:         cfg,
 		l2cache:     cache.New(cfg.L2Cache),
@@ -400,6 +412,15 @@ func NewMulti(cfg arch.Config, tenants []Tenant, mopt MultiOptions) (*Simulator,
 			}
 		}
 	}
+	if allocMode != vm.AllocFirstTouch {
+		// Every tenant space (including churn arrivals) demand-pages under
+		// the selected policy; spaces must be pristine at this point.
+		for _, tn := range s.tenants {
+			if err := tn.as.SetAllocMode(allocMode); err != nil {
+				return nil, fmt.Errorf("sim: tenant %q: %w", tn.name, err)
+			}
+		}
+	}
 	s.dispatchFn = func() {
 		s.dispatchPending = false
 		s.dispatch()
@@ -422,6 +443,7 @@ func NewMulti(cfg arch.Config, tenants []Tenant, mopt MultiOptions) (*Simulator,
 		Policy:      arch.IndexByAddress,
 		Compression: cfg.TLBCompression,
 		Replacement: cfg.TLBReplacement,
+		Mech:        mechSpec,
 	}
 	if len(tenants) > 1 && mopt.L2TLBPolicy != arch.IndexByAddress {
 		l2opt.Policy = mopt.L2TLBPolicy
@@ -439,12 +461,17 @@ func NewMulti(cfg arch.Config, tenants []Tenant, mopt MultiOptions) (*Simulator,
 		s.pwc = tlb.New(arch.TLBConfig{Entries: cfg.PWCEntries, Assoc: cfg.PWCEntries, LookupLatency: 1},
 			tlb.Options{Policy: arch.IndexByAddress})
 	}
+	// The PWC above deliberately stays on the base mechanism: it caches
+	// per-tenant page-table pointers (reach-1, tenant-private by
+	// construction), where sub-entry sharing and run coalescing have no
+	// analogue.
 	l1opt := tlb.Options{
 		Policy:                cfg.TLBIndexPolicy,
 		Sharing:               cfg.SharingMode,
 		ShareCounterThreshold: cfg.ShareCounterThreshold,
 		Compression:           cfg.TLBCompression,
 		Replacement:           cfg.TLBReplacement,
+		Mech:                  mechSpec,
 	}
 	for i := 0; i < cfg.NumSMs; i++ {
 		smID := i

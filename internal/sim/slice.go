@@ -858,6 +858,7 @@ func (s *Simulator) foldSlices() {
 	}
 	for _, sc := range s.slices {
 		s.l2tlb.AddStats(sc.l2tlb.Stats())
+		s.l2tlb.FoldMech(sc.l2tlb)
 		s.l2cache.AddStats(sc.l2cache.Stats())
 		if s.pwc != nil && sc.pwc != nil {
 			s.pwc.AddStats(sc.pwc.Stats())

@@ -110,6 +110,14 @@ func (r *Registry) Histogram(name string, buckets int) *Histogram {
 	return h
 }
 
+// AttachHistogram registers an existing histogram under name — the bridge
+// for components that observe into a histogram they own before any
+// registry exists (a mechanism's sub-TLB instances, merged at fold time).
+func (r *Registry) AttachHistogram(name string, h *Histogram) {
+	r.checkFresh(name)
+	r.hists[name] = h
+}
+
 // ---------------------------------------------------------------- histogram
 
 // DefaultHistogramBuckets is the bucket count used when none is given.

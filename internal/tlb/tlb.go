@@ -5,6 +5,7 @@ import (
 
 	"gputlb/internal/arch"
 	"gputlb/internal/stats"
+	"gputlb/internal/tlbmech"
 	"gputlb/internal/vm"
 )
 
@@ -20,18 +21,24 @@ type Options struct {
 	// saturating counter: sharing into a neighbour activates only after the
 	// threshold number of spill opportunities (paper future-work ablation).
 	ShareCounterThreshold int
-	// Compression enables contiguity-coalescing entries.
+	// Compression enables contiguity-coalescing entries (a base-mechanism
+	// feature; incompatible with a non-base Mech).
 	Compression bool
 	// CompressionSpan is the aligned group size in pages (power of two).
 	// Zero means DefaultCompressionSpan.
 	CompressionSpan int
 	// Replacement selects the victim policy (LRU by default).
 	Replacement arch.TLBReplacementPolicy
-	// OnEvict, when set, is called with every valid entry this TLB evicts
-	// (victim write-back: an L1 TLB hands its victims to the L2 so
+	// Mech selects the pluggable translation mechanism (tlbmech.Spec); the
+	// zero value is the base mechanism, byte-identical to the
+	// pre-mechanism TLB.
+	Mech tlbmech.Spec
+	// OnEvict, when set, is called with every valid translation this TLB
+	// evicts (victim write-back: an L1 TLB hands its victims to the L2 so
 	// L1-resident translations do not go stale there). Compressed entries
-	// report their base page. The victim's ASID rides along so multi-tenant
-	// write-backs land in the right tenant's L2 partition.
+	// report their base page; sub-entry and large-reach entries report one
+	// translation per covered (tenant, page). The victim's ASID rides along
+	// so multi-tenant write-backs land in the right tenant's L2 partition.
 	OnEvict func(asid vm.ASID, vpn vm.VPN, ppn vm.PPN)
 }
 
@@ -46,7 +53,7 @@ type Stats struct {
 	ProbeSets  int64
 	Evictions  int64
 	Spills     int64 // victims relocated into a neighbour's set
-	Coalesced  int64 // inserts absorbed into an existing compressed entry
+	Coalesced  int64 // inserts absorbed with new coverage (compressed pages, sub-slots, run extensions)
 	FlagSets   int64 // sharing-flag activations
 	FlagResets int64
 }
@@ -59,22 +66,21 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Accesses)
 }
 
-type entry struct {
-	valid  bool
-	asid   vm.ASID // owning tenant; a lookup only matches its own ASID
-	vpn    vm.VPN  // full VPN (partitioned designs) or group base (compressed)
-	ppn    vm.PPN  // PPN of vpn (compressed: of the group base)
-	mask   uint64  // compressed: bitmap of present pages in the group
-	stamp  uint64  // LRU timestamp
-	filled uint64  // insertion timestamp (FIFO)
-}
-
-// TLB is one translation buffer. It is not safe for concurrent use; the
-// simulator drives each TLB from a single goroutine.
+// TLB is one translation buffer. The mechanism-independent machinery lives
+// here — set geometry, TB-slot partitioning, adjacent-set sharing,
+// replacement, the baseline counters — while the entry format and its
+// match/absorb/fill semantics are delegated to the configured
+// tlbmech.Mechanism. It is not safe for concurrent use; the simulator
+// drives each TLB from a single goroutine.
 type TLB struct {
 	cfg  arch.TLBConfig
 	opt  Options
-	sets [][]entry
+	sets [][]tlbmech.Entry
+
+	mech tlbmech.Mechanism
+	// deadAware caches mech.DeadAware so the base victim scan pays no
+	// interface calls.
+	deadAware bool
 
 	clock    uint64 // LRU stamp source
 	numSlots int    // concurrent TB slots configured on the owning SM
@@ -109,8 +115,19 @@ func New(cfg arch.TLBConfig, opt Options) *TLB {
 		panic(fmt.Sprintf("tlb: compression span %d not a power of two", opt.CompressionSpan))
 	}
 	t := &TLB{cfg: cfg, opt: opt}
-	t.sets = make([][]entry, cfg.Sets())
-	backing := make([]entry, cfg.Sets()*cfg.Assoc)
+	m, err := tlbmech.Build(opt.Mech, tlbmech.Geometry{
+		Sets:            cfg.Sets(),
+		Assoc:           cfg.Assoc,
+		Compression:     opt.Compression,
+		CompressionSpan: opt.CompressionSpan,
+	})
+	if err != nil {
+		panic("tlb: " + err.Error())
+	}
+	t.mech = m
+	t.deadAware = m.DeadAware()
+	t.sets = make([][]tlbmech.Entry, cfg.Sets())
+	backing := make([]tlbmech.Entry, cfg.Sets()*cfg.Assoc)
 	for i := range t.sets {
 		t.sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
 	}
@@ -121,11 +138,16 @@ func New(cfg arch.TLBConfig, opt Options) *TLB {
 // Config returns the geometry.
 func (t *TLB) Config() arch.TLBConfig { return t.cfg }
 
+// MechName returns the configured mechanism's name.
+func (t *TLB) MechName() string { return t.mech.Name() }
+
 // Stats returns a copy of the counters.
 func (t *TLB) Stats() Stats { return t.stats }
 
 // RegisterStats registers the TLB's counters and rates into r; values are
-// read lazily at snapshot time.
+// read lazily at snapshot time. Non-base mechanisms add their own metrics
+// under a "mech" child node; base registers nothing extra, keeping base
+// snapshots byte-identical to the pre-mechanism TLB.
 func (t *TLB) RegisterStats(r *stats.Registry) {
 	r.CounterFunc("accesses", func() int64 { return t.stats.Accesses })
 	r.CounterFunc("hits", func() int64 { return t.stats.Hits })
@@ -138,6 +160,7 @@ func (t *TLB) RegisterStats(r *stats.Registry) {
 	r.CounterFunc("flag_resets", func() int64 { return t.stats.FlagResets })
 	r.GaugeFunc("hit_rate", func() float64 { return t.stats.HitRate() })
 	r.GaugeFunc("occupancy", func() float64 { return float64(t.Occupancy()) })
+	t.mech.RegisterStats(r)
 }
 
 // ResetStats zeroes the counters without touching contents.
@@ -157,6 +180,11 @@ func (t *TLB) AddStats(s Stats) {
 	t.stats.FlagSets += s.FlagSets
 	t.stats.FlagResets += s.FlagResets
 }
+
+// FoldMech folds src's mechanism-level counters into this TLB's mechanism
+// — the sliced barrier's sub-TLB roll-up, the mechanism analogue of
+// AddStats. Both TLBs must run the same mechanism kind.
+func (t *TLB) FoldMech(src *TLB) { t.mech.Fold(src.mech) }
 
 // ConfigureSlots sets the number of concurrent TB slots the owning SM runs
 // (determined at kernel launch from the TB resource needs). It resets the
@@ -226,31 +254,15 @@ func (t *TLB) SetPartition(bounds []int) {
 // must not mutate it.
 func (t *TLB) Partition() []int { return t.partition }
 
-// groupOf maps a VPN to its aligned compression group base and bit.
-func (t *TLB) groupOf(vpn vm.VPN) (base vm.VPN, bit uint64) {
-	span := vm.VPN(t.opt.CompressionSpan)
-	return vpn &^ (span - 1), 1 << (uint64(vpn) & uint64(span-1))
-}
-
-// probeKey returns the tag to match and the mask bit to test for vpn.
-func (t *TLB) probeKey(vpn vm.VPN) (tag vm.VPN, bit uint64) {
-	if t.opt.Compression {
-		return t.groupOf(vpn)
-	}
-	return vpn, 0
-}
+// entryIndex is the global per-entry index mechanisms key side tables by.
+func (t *TLB) entryIndex(si, w int) int { return si*t.cfg.Assoc + w }
 
 // setsToProbe lists the sets a lookup/insert for (slot, vpn) must search, in
 // priority order (own sets first, then shared neighbours' sets). The
 // returned slice aliases t.probeBuf and is only valid until the next call.
 func (t *TLB) setsToProbe(slot int, vpn vm.VPN) []int {
 	if t.opt.Policy == arch.IndexByAddress {
-		tag, _ := t.probeKey(vpn)
-		idx := tag
-		if t.opt.Compression {
-			idx = tag >> uintLog2(t.opt.CompressionSpan)
-		}
-		t.probeBuf = append(t.probeBuf[:0], int(idx)&(len(t.sets)-1))
+		t.probeBuf = append(t.probeBuf[:0], int(t.mech.Index(vpn))&(len(t.sets)-1))
 		return t.probeBuf
 	}
 	lo, hi := t.ownedSets(slot)
@@ -277,15 +289,6 @@ func (t *TLB) setsToProbe(slot int, vpn vm.VPN) []int {
 	return out
 }
 
-func uintLog2(v int) uint {
-	var n uint
-	for v > 1 {
-		v >>= 1
-		n++
-	}
-	return n
-}
-
 // Lookup translates vpn for the TB in the given slot under ASID 0 — the
 // single-tenant path. It returns the PPN on a hit and the number of sets
 // probed (each costing cfg.LookupLatency cycles). slot is ignored under
@@ -294,31 +297,28 @@ func (t *TLB) Lookup(slot int, vpn vm.VPN) (ppn vm.PPN, hit bool, setsProbed int
 	return t.LookupA(0, slot, vpn)
 }
 
-// LookupA is Lookup for an explicit tenant: only entries tagged with asid
-// can hit, so co-running tenants sharing a physical TLB contend for capacity
-// without aliasing each other's translations.
+// LookupA is Lookup for an explicit tenant: only entries the mechanism
+// matches for asid can hit, so co-running tenants sharing a physical TLB
+// contend for capacity without aliasing each other's translations.
 func (t *TLB) LookupA(asid vm.ASID, slot int, vpn vm.VPN) (ppn vm.PPN, hit bool, setsProbed int) {
 	t.clock++
 	t.stats.Accesses++
-	tag, bit := t.probeKey(vpn)
+	tag := t.mech.Tag(vpn)
 	probe := t.setsToProbe(slot, vpn)
 	t.stats.ProbeSets += int64(len(probe))
 	for _, si := range probe {
 		ways := t.sets[si]
 		for w := range ways {
 			e := &ways[w]
-			if !e.valid || e.vpn != tag || e.asid != asid {
+			if !e.Valid || e.VPN != tag {
 				continue
 			}
-			if t.opt.Compression && e.mask&bit == 0 {
+			p, ok := t.mech.Lookup(e, t.entryIndex(si, w), asid, vpn)
+			if !ok {
 				continue
 			}
-			e.stamp = t.clock
+			e.Stamp = t.clock
 			t.stats.Hits++
-			p := e.ppn
-			if t.opt.Compression {
-				p += vm.PPN(vpn - tag)
-			}
 			return p, true, len(probe)
 		}
 	}
@@ -327,18 +327,21 @@ func (t *TLB) LookupA(asid vm.ASID, slot int, vpn vm.VPN) (ppn vm.PPN, hit bool,
 }
 
 // Contains reports whether vpn is present for slot under ASID 0 without
-// disturbing LRU or stats (test/diagnostic helper).
+// disturbing LRU, stats, or predictor state (test/diagnostic helper).
 func (t *TLB) Contains(slot int, vpn vm.VPN) bool {
 	return t.ContainsA(0, slot, vpn)
 }
 
 // ContainsA is Contains for an explicit tenant.
 func (t *TLB) ContainsA(asid vm.ASID, slot int, vpn vm.VPN) bool {
-	tag, bit := t.probeKey(vpn)
+	tag := t.mech.Tag(vpn)
 	for _, si := range t.setsToProbe(slot, vpn) {
 		for w := range t.sets[si] {
 			e := &t.sets[si][w]
-			if e.valid && e.vpn == tag && e.asid == asid && (!t.opt.Compression || e.mask&bit != 0) {
+			if !e.Valid || e.VPN != tag {
+				continue
+			}
+			if _, ok := t.mech.Peek(e, t.entryIndex(si, w), asid, vpn); ok {
 				return true
 			}
 		}
@@ -353,44 +356,37 @@ func (t *TLB) ContainsA(asid vm.ASID, slot int, vpn vm.VPN) bool {
 // the epoch barrier: the entry's replacement age must reflect the miss (the
 // insertion), not the fill, so the two engines age entries identically.
 func (t *TLB) UpdateA(asid vm.ASID, slot int, vpn vm.VPN, ppn vm.PPN) bool {
-	tag, bit := t.probeKey(vpn)
+	tag := t.mech.Tag(vpn)
 	for _, si := range t.setsToProbe(slot, vpn) {
 		for w := range t.sets[si] {
 			e := &t.sets[si][w]
-			if !e.valid || e.vpn != tag || e.asid != asid {
+			if !e.Valid || e.VPN != tag {
 				continue
 			}
-			if t.opt.Compression {
-				if e.mask&bit == 0 {
-					continue
-				}
-				// Store the group-base PPN the run would have so a lookup
-				// of vpn returns exactly ppn.
-				e.ppn = ppn - vm.PPN(vpn-tag)
-			} else {
-				e.ppn = ppn
+			if t.mech.Update(e, t.entryIndex(si, w), asid, vpn, ppn) {
+				return true
 			}
-			return true
 		}
 	}
 	return false
 }
 
 // Insert installs vpn→ppn for the TB in slot after a miss has been resolved,
-// under ASID 0 (the single-tenant path). Under compression it first tries to
-// coalesce into an entry covering the same aligned group with a consistent
-// VPN→PPN delta. Under partitioning with sharing, an eviction victim may be
-// relocated into the adjacent TB's sets when a way there is free, activating
-// the sharing flag (paper Fig. 9).
+// under ASID 0 (the single-tenant path). The mechanism first tries to
+// absorb the translation into an existing tag-matching entry (refresh,
+// compressed-group coalesce, sub-slot fill, run extension). Under
+// partitioning with sharing, an eviction victim may be relocated into the
+// adjacent TB's sets when a way there is free, activating the sharing flag
+// (paper Fig. 9).
 func (t *TLB) Insert(slot int, vpn vm.VPN, ppn vm.PPN) {
 	t.InsertA(0, slot, vpn, ppn)
 }
 
 // InsertA is Insert for an explicit tenant; the entry is tagged with asid
-// and only that tenant's lookups can hit it.
+// and only lookups the mechanism matches for it can hit.
 func (t *TLB) InsertA(asid vm.ASID, slot int, vpn vm.VPN, ppn vm.PPN) {
 	t.clock++
-	tag, bit := t.probeKey(vpn)
+	tag := t.mech.Tag(vpn)
 
 	probe := t.setsToProbe(slot, vpn)
 	if len(probe) == 0 {
@@ -401,21 +397,14 @@ func (t *TLB) InsertA(asid vm.ASID, slot int, vpn vm.VPN, ppn vm.PPN) {
 	for _, si := range probe {
 		for w := range t.sets[si] {
 			e := &t.sets[si][w]
-			if !e.valid || e.vpn != tag || e.asid != asid {
+			if !e.Valid || e.VPN != tag {
 				continue
 			}
-			if !t.opt.Compression {
-				e.ppn = ppn // same VPN: refresh (translation unchanged in practice)
-				e.stamp = t.clock
+			switch t.mech.Absorb(e, t.entryIndex(si, w), asid, vpn, ppn, t.clock) {
+			case tlbmech.AbsorbCoalesced:
+				t.stats.Coalesced++
 				return
-			}
-			// Coalesce only when the VPN→PPN delta matches the stored run.
-			if e.ppn+vm.PPN(vpn-tag) == ppn {
-				if e.mask&bit == 0 {
-					t.stats.Coalesced++
-				}
-				e.mask |= bit
-				e.stamp = t.clock
+			case tlbmech.AbsorbRefreshed:
 				return
 			}
 		}
@@ -426,8 +415,8 @@ func (t *TLB) InsertA(asid vm.ASID, slot int, vpn vm.VPN, ppn vm.PPN) {
 	// neighbour's sets are part of the probed pool.
 	for _, si := range probe {
 		for w := range t.sets[si] {
-			if !t.sets[si][w].valid {
-				t.fill(&t.sets[si][w], asid, tag, vpn, ppn, bit)
+			if !t.sets[si][w].Valid {
+				t.mech.Fill(&t.sets[si][w], t.entryIndex(si, w), asid, vpn, tag, ppn, t.clock)
 				return
 			}
 		}
@@ -446,8 +435,8 @@ func (t *TLB) InsertA(asid vm.ASID, slot int, vpn vm.VPN, ppn vm.PPN) {
 			probe = t.setsToProbe(slot, vpn)
 			for _, si := range probe {
 				for w := range t.sets[si] {
-					if !t.sets[si][w].valid {
-						t.fill(&t.sets[si][w], asid, tag, vpn, ppn, bit)
+					if !t.sets[si][w].Valid {
+						t.mech.Fill(&t.sets[si][w], t.entryIndex(si, w), asid, vpn, tag, ppn, t.clock)
 						t.stats.Spills++
 						return
 					}
@@ -456,13 +445,18 @@ func (t *TLB) InsertA(asid vm.ASID, slot int, vpn vm.VPN, ppn vm.PPN) {
 		}
 	}
 
-	// Evict the LRU entry among the probed sets.
-	vsi, vw := t.lruVictim(probe)
+	// Evict the victim among the probed sets: predicted-dead entries first
+	// (dead-aware mechanisms only), then the configured replacement policy.
+	vsi, vw := t.victim(probe)
 	t.stats.Evictions++
-	if v := t.sets[vsi][vw]; v.valid && t.opt.OnEvict != nil {
-		t.opt.OnEvict(v.asid, v.vpn, v.ppn)
+	vidx := t.entryIndex(vsi, vw)
+	if v := &t.sets[vsi][vw]; v.Valid {
+		t.mech.OnEvict(v, vidx)
+		if t.opt.OnEvict != nil {
+			t.mech.Translations(v, vidx, t.opt.OnEvict)
+		}
 	}
-	t.fill(&t.sets[vsi][vw], asid, tag, vpn, ppn, bit)
+	t.mech.Fill(&t.sets[vsi][vw], vidx, asid, vpn, tag, ppn, t.clock)
 }
 
 // maybeActivateSharing decides whether an oversubscribed slot should start
@@ -516,27 +510,43 @@ func (t *TLB) oldestStamp(lo, hi int) uint64 {
 	for si := lo; si < hi; si++ {
 		for w := range t.sets[si] {
 			e := &t.sets[si][w]
-			if !e.valid {
+			if !e.Valid {
 				return 0
 			}
-			if e.stamp < best {
-				best = e.stamp
+			if e.Stamp < best {
+				best = e.Stamp
 			}
 		}
 	}
 	return best
 }
 
-func (t *TLB) fill(e *entry, asid vm.ASID, tag, vpn vm.VPN, ppn vm.PPN, bit uint64) {
-	*e = entry{valid: true, asid: asid, vpn: tag, stamp: t.clock, filled: t.clock}
-	if t.opt.Compression {
-		// Store the PPN the group base would have if the run were
-		// contiguous; coalescing later verifies the delta holds.
-		e.ppn = ppn - vm.PPN(vpn-tag)
-		e.mask = bit
-	} else {
-		e.ppn = ppn
+// victim returns the way to evict among the given sets. A dead-aware
+// mechanism's predicted-dead entries are preferred victims (oldest first,
+// with the replacement policy's tie-break); otherwise — and always for
+// base — the configured replacement policy decides.
+func (t *TLB) victim(sets []int) (setIdx, wayIdx int) {
+	if t.deadAware {
+		best := ^uint64(0)
+		found := false
+		for _, si := range sets {
+			for w := range t.sets[si] {
+				e := &t.sets[si][w]
+				if !e.Valid || !t.mech.Dead(e, t.entryIndex(si, w)) {
+					continue
+				}
+				if e.Stamp <= best {
+					best = e.Stamp
+					setIdx, wayIdx = si, w
+					found = true
+				}
+			}
+		}
+		if found {
+			return setIdx, wayIdx
+		}
 	}
+	return t.lruVictim(sets)
 }
 
 // lruVictim returns the victim way among the given sets under the
@@ -556,9 +566,9 @@ func (t *TLB) lruVictim(sets []int) (setIdx, wayIdx int) {
 	for _, si := range sets {
 		for w := range t.sets[si] {
 			e := &t.sets[si][w]
-			key := e.stamp
+			key := e.Stamp
 			if t.opt.Replacement == arch.ReplaceFIFO {
-				key = e.filled
+				key = e.Filled
 			}
 			if key <= best {
 				best = key
@@ -600,21 +610,36 @@ func (t *TLB) SharingActive(slot int) bool {
 func (t *TLB) Flush() {
 	for si := range t.sets {
 		for w := range t.sets[si] {
-			t.sets[si][w] = entry{}
+			t.sets[si][w] = tlbmech.Entry{}
 		}
 	}
+	t.mech.OnFlush()
 }
 
-// Occupancy returns the number of valid entries (compressed entries count
-// once regardless of span).
+// Occupancy returns the number of valid entries (coalesced, sub-entry, and
+// large-reach entries count once regardless of coverage).
 func (t *TLB) Occupancy() int {
 	n := 0
 	for si := range t.sets {
 		for w := range t.sets[si] {
-			if t.sets[si][w].valid {
+			if t.sets[si][w].Valid {
 				n++
 			}
 		}
 	}
 	return n
+}
+
+// Translations enumerates every translation currently held, including the
+// multiple (tenant, page) pairs a coalesced, sub-entry, or large-reach
+// record covers (test/diagnostic helper).
+func (t *TLB) Translations(yield func(asid vm.ASID, vpn vm.VPN, ppn vm.PPN)) {
+	for si := range t.sets {
+		for w := range t.sets[si] {
+			e := &t.sets[si][w]
+			if e.Valid {
+				t.mech.Translations(e, t.entryIndex(si, w), yield)
+			}
+		}
+	}
 }

@@ -200,6 +200,64 @@ func (a *FrameAllocator) AllocN(n int) PPN {
 // scatter gaps).
 func (a *FrameAllocator) Allocated() uint64 { return uint64(a.next - a.base) }
 
+// AllocMode selects how demand paging picks physical frames.
+type AllocMode int
+
+const (
+	// AllocFirstTouch is the default UVM behaviour: frames are
+	// bump-allocated in fault order (with optional scatter), so physical
+	// layout follows the access pattern.
+	AllocFirstTouch AllocMode = iota
+	// AllocContig is a contiguity-preserving allocator: the frame for a
+	// page is a pure function of its VPN that keeps every aligned
+	// ContigRunPages-page virtual subregion physically contiguous,
+	// regardless of fault order. It models an eager/reservation-based
+	// allocator and is the supply side of the large-reach TLB mechanism.
+	AllocContig
+)
+
+// ContigRunPages is the aligned virtual subregion size (in pages) that
+// AllocContig keeps physically contiguous: 512 pages = 2MB at 4KB pages,
+// the page-table-leaf granularity reservation allocators operate at.
+const ContigRunPages = 512
+
+// ParseAllocMode maps a CLI/experiment name to an AllocMode. The empty
+// string means first-touch.
+func ParseAllocMode(name string) (AllocMode, error) {
+	switch name {
+	case "", "firsttouch":
+		return AllocFirstTouch, nil
+	case "contig":
+		return AllocContig, nil
+	default:
+		return 0, fmt.Errorf("vm: unknown alloc mode %q (want firsttouch or contig)", name)
+	}
+}
+
+// String returns the mode's canonical CLI name.
+func (m AllocMode) String() string {
+	if m == AllocContig {
+		return "contig"
+	}
+	return "firsttouch"
+}
+
+// contigFrameBits bounds the hashed subregion base so every contig frame
+// stays far below the sharded engine's placeholder-PPN threshold (2^47).
+const contigFrameBits = 36
+
+// contigFrame returns AllocContig's frame for vpn: the 512-page subregion's
+// base frame is a multiplicative hash of the subregion number (bijective
+// over 36 bits, so distinct subregions never collide within any realistic
+// footprint), and pages within the subregion get consecutive frames. Being
+// a pure function of position, it is race-free under concurrent TouchSlice
+// and yields identical PPNs in every engine and slicing configuration.
+func contigFrame(vpn VPN) PPN {
+	sub := uint64(vpn) / ContigRunPages
+	base := (sub * 0x9E3779B97F4A7C15) & (1<<contigFrameBits - 1)
+	return PPN(1 + base*ContigRunPages + uint64(vpn)%ContigRunPages)
+}
+
 // Region is a named virtual allocation (one data structure of a kernel).
 type Region struct {
 	Name  string
@@ -222,6 +280,8 @@ type AddressSpace struct {
 	pageShift   uint
 	seed        int64
 	scatter     int
+	allocMode   AllocMode
+	contigPages atomic.Uint64 // pages mapped by AllocContig
 	nextVA      Addr
 	regions     []Region
 	faults      atomic.Uint64
@@ -254,10 +314,25 @@ func NewAddressSpace(pageShift uint, seed int64, scatter int) *AddressSpace {
 // already been touched does not carry the mappings over.
 func (as *AddressSpace) Fork() *AddressSpace {
 	f := NewAddressSpace(as.pageShift, as.seed, as.scatter)
+	f.allocMode = as.allocMode
 	f.nextVA = as.nextVA
 	f.regions = append([]Region(nil), as.regions...)
 	return f
 }
+
+// SetAllocMode switches the demand-paging frame policy. It must be called
+// before any page is touched — mixing policies within one space would break
+// the contiguity invariant largereach property tests rely on.
+func (as *AddressSpace) SetAllocMode(m AllocMode) error {
+	if as.pt.Mapped() != 0 {
+		return fmt.Errorf("vm: cannot switch alloc mode with %d pages already mapped", as.pt.Mapped())
+	}
+	as.allocMode = m
+	return nil
+}
+
+// GetAllocMode returns the demand-paging frame policy.
+func (as *AddressSpace) GetAllocMode() AllocMode { return as.allocMode }
 
 // PageShift returns the base page shift.
 func (as *AddressSpace) PageShift() uint { return as.pageShift }
@@ -277,7 +352,7 @@ func (as *AddressSpace) RegisterStats(r *stats.Registry) {
 	r.CounterFunc("faults", func() int64 { return int64(as.faults.Load()) })
 	r.CounterFunc("mapped_pages", func() int64 { return int64(as.pt.Mapped()) })
 	r.CounterFunc("frames_allocated", func() int64 {
-		n := as.frames.Allocated()
+		n := as.frames.Allocated() + as.contigPages.Load()
 		for _, fa := range as.sliceFrames {
 			n += fa.Allocated()
 		}
@@ -361,10 +436,16 @@ func (as *AddressSpace) touchFrom(a Addr, frames *FrameAllocator) (PPN, bool) {
 		return ppn, false
 	}
 	// Populate the aligned basic block: consecutive frames for consecutive
-	// pages, skipping pages that are somehow already mapped.
+	// pages, skipping pages that are somehow already mapped. Under
+	// AllocContig the frame is positional (contigFrame), which still yields
+	// consecutive frames within the block — blocks are aligned, so a block
+	// never straddles a ContigRunPages subregion boundary.
 	n := VPN(as.blockPages())
 	base := vpn &^ (n - 1)
-	frame := frames.AllocN(int(n))
+	var frame PPN
+	if as.allocMode != AllocContig {
+		frame = frames.AllocN(int(n))
+	}
 	var out PPN
 	for off := VPN(0); off < n; off++ {
 		v := base + off
@@ -372,6 +453,10 @@ func (as *AddressSpace) touchFrom(a Addr, frames *FrameAllocator) (PPN, bool) {
 			continue
 		}
 		p := frame + PPN(off)
+		if as.allocMode == AllocContig {
+			p = contigFrame(v)
+			as.contigPages.Add(1)
+		}
 		if err := as.pt.Map(v, p); err != nil {
 			// Unreachable: Translate just reported the page absent.
 			panic(err)
